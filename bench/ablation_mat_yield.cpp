@@ -1,0 +1,56 @@
+// Ablation: the paper's proposed yield() optimisation for ADETS-MAT
+// (Sec. 5.3: "The poor performance of MAT can be alleviated by the
+// introduction of yield operations, which enable a selection of a new
+// primary thread without reaching an implicit scheduling point").
+//
+// Pattern (d) lock-unlock-compute serialises MAT because the token is
+// only released at request completion; pattern "dy" yields right after
+// the critical section, restoring the concurrency of the computation.
+#include "bench_common.hpp"
+
+namespace adets::bench {
+namespace {
+
+void run_point(benchmark::State& state, const std::string& pattern,
+               sched::SchedulerKind kind, int clients) {
+  for (auto _ : state) {
+    runtime::Cluster cluster(figure_cluster_config());
+    const auto group = cluster.create_group(
+        3, kind, [] { return std::make_unique<workload::ComputePatterns>(10); },
+        sched_config_for(kind, clients));
+    const auto result = run_closed_loop(
+        cluster, clients, [&](runtime::Client& client, common::Rng& rng, int) {
+          client.invoke(group, pattern, workload::pack_u64(100, rng.uniform(0, 9)));
+        });
+    (void)drain(cluster, group, clients);
+    auto verdict = repl::check_group(cluster, group);
+    LoopResult reported = result;
+    reported.consistent = verdict.consistent();
+    report(state, reported);
+  }
+}
+
+void register_all() {
+  const int clients = fast_mode() ? 4 : 8;
+  for (const std::string pattern : {"d", "dy"}) {
+    for (const auto kind : {sched::SchedulerKind::kMat, sched::SchedulerKind::kSat}) {
+      const std::string name = "AblationMatYield/" + pattern + "/" +
+                               sched::to_string(kind) +
+                               "/clients:" + std::to_string(clients);
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [pattern, kind, clients](benchmark::State& s) {
+                                     run_point(s, pattern, kind, clients);
+                                   })
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace
+}  // namespace adets::bench
+
+BENCHMARK_MAIN();

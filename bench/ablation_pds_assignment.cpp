@@ -1,0 +1,59 @@
+// Ablation: ADETS-PDS request-assignment strategies (paper Sec. 4.2).
+//
+// The paper proposes two strategies — round-robin (request i goes to
+// worker i mod N; "works fine if requests have identical computation
+// times") and synchronized assignment via a scheduler-managed queue
+// mutex (the variant the paper evaluates).  This bench compares both on
+// (i) a uniform workload and (ii) a skewed workload where every fourth
+// request computes 4x longer, which stalls the round-robin pipeline.
+#include "bench_common.hpp"
+
+namespace adets::bench {
+namespace {
+
+void run_point(benchmark::State& state, bool round_robin, bool skewed, int clients) {
+  for (auto _ : state) {
+    runtime::Cluster cluster(figure_cluster_config());
+    sched::SchedulerConfig config = pds_config_for(clients);
+    config.pds_round_robin_assignment = round_robin;
+    const auto group = cluster.create_group(
+        3, sched::SchedulerKind::kPds,
+        [] { return std::make_unique<workload::ComputePatterns>(10); }, config);
+    std::atomic<std::uint64_t> sequence{0};
+    const auto result = run_closed_loop(
+        cluster, clients, [&](runtime::Client& client, common::Rng& rng, int) {
+          const std::uint64_t n = sequence.fetch_add(1);
+          const std::uint64_t compute = skewed && (n % 4 == 0) ? 100 : 25;
+          client.invoke(group, "b",
+                        workload::pack_u64(compute, rng.uniform(0, 9)));
+        });
+    report(state, result);
+  }
+}
+
+void register_all() {
+  const int clients = fast_mode() ? 4 : 8;
+  for (const bool round_robin : {false, true}) {
+    for (const bool skewed : {false, true}) {
+      const std::string name = std::string("AblationPdsAssign/") +
+                               (round_robin ? "round_robin" : "synchronized") + "/" +
+                               (skewed ? "skewed" : "uniform") +
+                               "/clients:" + std::to_string(clients);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [round_robin, skewed, clients](benchmark::State& s) {
+            run_point(s, round_robin, skewed, clients);
+          })
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace
+}  // namespace adets::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Ablation: PDS-1 versus PDS-2 (paper Sec. 3.2).
+//
+// PDS-2 grants one extra in-round mutex acquisition, so workloads whose
+// requests take two locks need roughly half as many rounds.  The bench
+// runs a two-lock request (lock A, lock B, short accesses) under both
+// variants and reports time/invocation plus the rounds executed.
+#include "bench_common.hpp"
+
+#include "sched/pds.hpp"
+
+namespace adets::bench {
+namespace {
+
+/// Object that takes two mutexes per request (disjoint pairs per client).
+class TwoLockObject : public runtime::ReplicatedObject {
+ public:
+  common::Bytes dispatch(const std::string&, const common::Bytes& args,
+                         runtime::SyncContext& ctx) override {
+    const auto a = workload::unpack_u64(args);
+    const common::MutexId first(a.at(0));
+    const common::MutexId second(100 + a.at(0));
+    runtime::DetLock lock1(ctx, first);
+    runtime::DetLock lock2(ctx, second);
+    ctx.compute(common::paper_ms(static_cast<long long>(a.at(1))));
+    count_++;
+    return workload::pack_u64(count_);
+  }
+  [[nodiscard]] std::uint64_t state_hash() const override { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+void run_point(benchmark::State& state, int variant, int clients) {
+  for (auto _ : state) {
+    runtime::Cluster cluster(figure_cluster_config());
+    sched::SchedulerConfig config = pds_config_for(clients);
+    config.pds_variant = variant;
+    const auto group = cluster.create_group(
+        3, sched::SchedulerKind::kPds, [] { return std::make_unique<TwoLockObject>(); },
+        config);
+    const auto result = run_closed_loop(
+        cluster, clients, [&](runtime::Client& client, common::Rng& rng, int) {
+          client.invoke(group, "run", workload::pack_u64(rng.uniform(0, 7), 10));
+        });
+    auto& pds =
+        dynamic_cast<sched::PdsScheduler&>(cluster.replica(group, 0).scheduler());
+    state.counters["rounds"] = static_cast<double>(pds.rounds());
+    report(state, result);
+  }
+}
+
+void register_all() {
+  const int clients = fast_mode() ? 4 : 8;
+  for (const int variant : {1, 2}) {
+    const std::string name = "AblationPdsVariant/PDS-" + std::to_string(variant) +
+                             "/clients:" + std::to_string(clients);
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [variant, clients](benchmark::State& s) {
+                                   run_point(s, variant, clients);
+                                 })
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace
+}  // namespace adets::bench
+
+BENCHMARK_MAIN();

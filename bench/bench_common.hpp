@@ -1,0 +1,206 @@
+// Shared benchmark harness.
+//
+// Reproduces the paper's measurement methodology (Sec. 5.2): a replica
+// group of three nodes, N client nodes started simultaneously, each in a
+// closed loop; the measured value is the client-side average invocation
+// time, excluding a small warm-up.  All times are reported in *paper
+// milliseconds* (real time divided by the ADETS_TIME_SCALE factor), so
+// the numbers are directly comparable to the figures.
+//
+// Environment knobs:
+//   ADETS_TIME_SCALE        time scale (default 0.05)
+//   ADETS_BENCH_INVOCATIONS invocations per client per point (default 20)
+//   ADETS_BENCH_WARMUP      warm-up invocations per client (default 3)
+//   ADETS_BENCH_FAST        =1: fewer points and invocations (smoke run)
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <barrier>
+#include <condition_variable>
+#include <mutex>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "replication/consistency.hpp"
+#include "sched/base.hpp"
+#include "runtime/cluster.hpp"
+#include "workload/objects.hpp"
+
+namespace adets::bench {
+
+inline int env_int(const char* name, int fallback) {
+  if (const char* value = std::getenv(name)) {
+    const int parsed = std::atoi(value);
+    if (parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+inline bool fast_mode() {
+  const char* value = std::getenv("ADETS_BENCH_FAST");
+  return value != nullptr && value[0] == '1';
+}
+
+inline int invocations_per_client() {
+  return env_int("ADETS_BENCH_INVOCATIONS", fast_mode() ? 6 : 20);
+}
+
+inline int warmup_per_client() { return env_int("ADETS_BENCH_WARMUP", 3); }
+
+/// Client counts swept by the figures (paper: 1..10).
+inline std::vector<int> client_counts(int max_clients = 10) {
+  if (fast_mode()) return {1, 4, std::min(10, max_clients)};
+  std::vector<int> counts;
+  for (int n : {1, 2, 4, 6, 8, 10}) {
+    if (n <= max_clients) counts.push_back(n);
+  }
+  return counts;
+}
+
+/// One invocation performed by a closed-loop client.
+/// Returns the latency contribution in real seconds.
+using ClientOp = std::function<void(runtime::Client&, common::Rng&, int iteration)>;
+
+struct LoopResult {
+  double paper_ms_per_invocation = 0.0;
+  std::uint64_t invocations = 0;
+  bool consistent = true;
+};
+
+/// Runs `clients` closed-loop client threads against `cluster`; each
+/// performs warm-up + measured invocations of `op`.  Returns the average
+/// measured latency in paper milliseconds.
+inline LoopResult run_closed_loop(runtime::Cluster& cluster, int clients,
+                                  const ClientOp& op,
+                                  int invocations = invocations_per_client(),
+                                  int warmup = warmup_per_client()) {
+  std::vector<runtime::Client*> handles;
+  handles.reserve(clients);
+  for (int c = 0; c < clients; ++c) handles.push_back(&cluster.create_client());
+
+  std::atomic<std::int64_t> total_ns{0};
+  std::atomic<std::uint64_t> measured{0};
+  std::barrier sync(clients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      common::Rng rng(static_cast<std::uint64_t>(c) + 1);
+      sync.arrive_and_wait();
+      for (int i = 0; i < warmup; ++i) op(*handles[c], rng, -1 - i);
+      sync.arrive_and_wait();  // all clients enter the measured phase together
+      for (int i = 0; i < invocations; ++i) {
+        const auto start = common::Clock::now();
+        op(*handles[c], rng, i);
+        const auto elapsed = common::Clock::now() - start;
+        total_ns.fetch_add(elapsed.count());
+        measured.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  LoopResult result;
+  result.invocations = measured.load();
+  const double real_ms =
+      static_cast<double>(total_ns.load()) / 1e6 / static_cast<double>(result.invocations);
+  result.paper_ms_per_invocation = real_ms / common::Clock::scale();
+  return result;
+}
+
+/// Waits until every replica executed all client requests (clients only
+/// wait for the first reply, so replicas may lag behind the loop).
+inline bool drain(runtime::Cluster& cluster, common::GroupId group, int clients,
+                  int invocations = invocations_per_client(),
+                  int warmup = warmup_per_client()) {
+  const auto total = static_cast<std::uint64_t>(clients) *
+                     static_cast<std::uint64_t>(invocations + warmup);
+  return cluster.wait_drained(group, total);
+}
+
+/// Standard cluster for the figures: moderate LAN-like latency.
+inline runtime::ClusterConfig figure_cluster_config() {
+  runtime::ClusterConfig config;
+  config.link.base_latency = common::paper_us(500);
+  config.link.jitter = common::paper_us(200);
+  return config;
+}
+
+/// PDS pool sized to the client count, as in the paper (Sec. 5.2).
+inline sched::SchedulerConfig pds_config_for(int clients) {
+  sched::SchedulerConfig config;
+  config.pds_thread_pool = static_cast<std::size_t>(clients);
+  return config;
+}
+
+inline sched::SchedulerConfig sched_config_for(sched::SchedulerKind kind, int clients) {
+  if (kind == sched::SchedulerKind::kPds) return pds_config_for(clients);
+  return {};
+}
+
+/// Per-point stall guard: if a benchmark point does not finish within
+/// `limit`, dumps every replica's scheduler state and aborts, so a rare
+/// scheduling stall becomes a diagnosable failure instead of a silent
+/// multi-hour hang.
+class PointGuard {
+ public:
+  PointGuard(runtime::Cluster& cluster, common::GroupId group, std::string label,
+             std::chrono::seconds limit = std::chrono::seconds(120))
+      : cluster_(cluster), group_(group), label_(std::move(label)) {
+    guard_ = std::thread([this, limit] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (cv_.wait_for(lock, limit, [this] { return done_; })) return;
+      std::fprintf(stderr, "STALL in %s\n", label_.c_str());
+      for (int i = 0; i < cluster_.group_size(group_); ++i) {
+        auto* base = dynamic_cast<sched::SchedulerBase*>(
+            &cluster_.replica(group_, i).scheduler());
+        std::fprintf(stderr, "replica %d completed=%llu %s\n", i,
+                     static_cast<unsigned long long>(
+                         cluster_.replica(group_, i).completed_requests()),
+                     base != nullptr ? base->debug_dump().c_str() : "?");
+      }
+      std::fflush(stderr);
+      std::abort();
+    });
+  }
+  PointGuard(const PointGuard&) = delete;
+  PointGuard& operator=(const PointGuard&) = delete;
+  ~PointGuard() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    guard_.join();
+  }
+
+ private:
+  runtime::Cluster& cluster_;
+  common::GroupId group_;
+  std::string label_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread guard_;
+};
+
+/// Registers the benchmark result on the google-benchmark state.
+inline void report(benchmark::State& state, const LoopResult& result) {
+  state.counters["paper_ms_per_inv"] = result.paper_ms_per_invocation;
+  state.counters["consistent"] = result.consistent ? 1.0 : 0.0;
+  state.SetIterationTime(result.paper_ms_per_invocation / 1e3);
+}
+
+/// The scheduler line-up of the local-computation figures.
+inline std::vector<sched::SchedulerKind> figure_schedulers() {
+  return {sched::SchedulerKind::kSat, sched::SchedulerKind::kMat,
+          sched::SchedulerKind::kLsa, sched::SchedulerKind::kPds};
+}
+
+}  // namespace adets::bench

@@ -1,0 +1,73 @@
+// Reproduces paper Figure 4: local computations with mutex locks.
+//
+// Patterns (Fig. 3):
+//   (a) compute
+//   (b) compute - lock - state access - unlock
+//   (c) lock - state access and compute - unlock
+//   (d) lock - state access - unlock - compute
+// 3 replicas, 1..10 clients, 100 ms computation, 10 mutexes selected
+// uniformly at random per invocation.  Reported metric: client-side
+// time per invocation in paper milliseconds.
+//
+// Expected shapes (paper Sec. 5.3):
+//   (a) SAT grows linearly (serialises everything); MAT/LSA flat; PDS
+//       flat with a slight queue-mutex overhead.
+//   (b) like (a); MAT best, LSA pays grant communication.
+//   (c) MAT degenerates to SAT (lock-first serialises); LSA best at
+//       high client counts; PDS suffers from round collisions.
+//   (d) PDS best (collisions only cover the short state access), LSA
+//       slightly slower, SAT and MAT serialise.
+#include "bench_common.hpp"
+
+namespace adets::bench {
+namespace {
+
+constexpr std::uint64_t kComputePaperMs = 100;
+constexpr std::uint32_t kMutexes = 10;
+
+void run_point(benchmark::State& state, const std::string& pattern,
+               sched::SchedulerKind kind, int clients) {
+  for (auto _ : state) {
+    runtime::Cluster cluster(figure_cluster_config());
+    const auto group = cluster.create_group(
+        3, kind, [] { return std::make_unique<workload::ComputePatterns>(kMutexes); },
+        sched_config_for(kind, clients));
+    PointGuard stall_guard(cluster, group, "Fig4" + std::string("/") + std::to_string(clients));
+    const auto result = run_closed_loop(
+        cluster, clients, [&](runtime::Client& client, common::Rng& rng, int) {
+          const std::uint64_t mutex = rng.uniform(0, kMutexes - 1);
+          client.invoke(group, pattern, workload::pack_u64(kComputePaperMs, mutex));
+        });
+    (void)drain(cluster, group, clients);
+    auto verdict = repl::check_group(cluster, group);
+    LoopResult reported = result;
+    reported.consistent = verdict.consistent();
+    report(state, reported);
+  }
+}
+
+void register_all() {
+  for (const std::string pattern : {"a", "b", "c", "d"}) {
+    for (const auto kind : figure_schedulers()) {
+      for (const int clients : client_counts()) {
+        const std::string name =
+            "Fig4/" + pattern + "/" + sched::to_string(kind) + "/clients:" +
+            std::to_string(clients);
+        benchmark::RegisterBenchmark(name.c_str(),
+                                     [pattern, kind, clients](benchmark::State& s) {
+                                       run_point(s, pattern, kind, clients);
+                                     })
+            ->Iterations(1)
+            ->UseManualTime()
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace
+}  // namespace adets::bench
+
+BENCHMARK_MAIN();

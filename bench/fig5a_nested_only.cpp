@@ -1,0 +1,62 @@
+// Reproduces paper Figure 5(a): nested invocations only.
+//
+// Two replica groups A (front) and B (callee), 3 replicas each.  A
+// variable number of clients invokes a method at A that performs one
+// nested invocation of B; B either returns immediately or suspends for
+// 2 ms (paper time).  Compared strategies: strictly sequential (SEQ)
+// versus ADETS-SAT.  Expected shape: SAT increasingly better with more
+// clients; with the 2 ms callee delay the gap becomes dramatic, because
+// SAT accepts new requests at A while the nested call is in progress.
+#include "bench_common.hpp"
+
+namespace adets::bench {
+namespace {
+
+void run_point(benchmark::State& state, sched::SchedulerKind kind,
+               std::uint64_t callee_delay_paper_ms, int clients) {
+  for (auto _ : state) {
+    runtime::Cluster cluster(figure_cluster_config());
+    // The callee must execute concurrently (MAT): the paper measures the
+    // *caller's* strategy, not a bottleneck at B.
+    const auto callee = cluster.create_group(
+        3, sched::SchedulerKind::kMat,
+        [] { return std::make_unique<workload::EchoService>(); });
+    const auto front = cluster.create_group(
+        3, kind, [] { return std::make_unique<workload::NestedPatterns>(); },
+        sched_config_for(kind, clients));
+    const auto result = run_closed_loop(
+        cluster, clients, [&](runtime::Client& client, common::Rng&, int) {
+          client.invoke(front, "N",
+                        workload::pack_u64(callee.value(), callee_delay_paper_ms,
+                                           callee_delay_paper_ms, 0, 0));
+        });
+    report(state, result);
+  }
+}
+
+void register_all() {
+  for (const auto kind : {sched::SchedulerKind::kSeq, sched::SchedulerKind::kSat}) {
+    for (const std::uint64_t delay : {0ULL, 2ULL}) {
+      for (const int clients : client_counts()) {
+        const std::string name = "Fig5a/" + sched::to_string(kind) + "/delay_ms:" +
+                                 std::to_string(delay) +
+                                 "/clients:" + std::to_string(clients);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [kind, delay, clients](benchmark::State& s) {
+              run_point(s, kind, delay, clients);
+            })
+            ->Iterations(1)
+            ->UseManualTime()
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace
+}  // namespace adets::bench
+
+BENCHMARK_MAIN();

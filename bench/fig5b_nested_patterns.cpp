@@ -1,0 +1,74 @@
+// Reproduces paper Figure 5(b): nested invocations, local computations,
+// and mutex locks, in all six permutations.
+//
+// Each request executes a permutation of:
+//   N — nested invocation of group B taking 100..150 paper-ms,
+//   C — local computation of 75..125 paper-ms,
+//   S — synchronized state update (lock, access, unlock).
+// 10 clients, strategies SEQ, SAT, PDS, LSA, MAT.
+//
+// Expected shapes (paper Sec. 5.4): SAT beats SEQ everywhere (uses
+// nested idle time) but cannot parallelise C.  MAT is best for NCS/CSN
+// and no better than SAT for NSC/SCN (an S followed by C pins the
+// primary token through the computation).  PDS and LSA are insensitive
+// to the permutation; PDS slightly ahead of LSA.
+#include "bench_common.hpp"
+
+namespace adets::bench {
+namespace {
+
+const std::vector<std::string> kPatterns = {"NCS", "CNS", "NSC", "CSN", "SCN", "SNC"};
+
+void run_point(benchmark::State& state, const std::string& pattern,
+               sched::SchedulerKind kind, int clients) {
+  for (auto _ : state) {
+    runtime::Cluster cluster(figure_cluster_config());
+    // The callee must execute concurrently (MAT): the paper measures the
+    // *caller's* strategy, not a bottleneck at B.
+    const auto callee = cluster.create_group(
+        3, sched::SchedulerKind::kMat,
+        [] { return std::make_unique<workload::EchoService>(); });
+    const auto front = cluster.create_group(
+        3, kind, [] { return std::make_unique<workload::NestedPatterns>(); },
+        sched_config_for(kind, clients));
+    PointGuard stall_guard(cluster, front, "Fig5b" + std::string("/") + std::to_string(clients));
+    const auto result = run_closed_loop(
+        cluster, clients, [&](runtime::Client& client, common::Rng&, int) {
+          client.invoke(front, pattern,
+                        workload::pack_u64(callee.value(), 100, 150, 75, 125));
+        });
+    (void)drain(cluster, front, clients);
+    auto verdict = repl::check_group(cluster, front);
+    LoopResult reported = result;
+    reported.consistent = verdict.consistent();
+    report(state, reported);
+  }
+}
+
+void register_all() {
+  const int clients = fast_mode() ? 4 : 10;
+  for (const auto& pattern : kPatterns) {
+    for (const auto kind :
+         {sched::SchedulerKind::kSeq, sched::SchedulerKind::kSat,
+          sched::SchedulerKind::kPds, sched::SchedulerKind::kLsa,
+          sched::SchedulerKind::kMat}) {
+      const std::string name =
+          "Fig5b/" + pattern + "/" + sched::to_string(kind) + "/clients:" +
+          std::to_string(clients);
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [pattern, kind, clients](benchmark::State& s) {
+                                     run_point(s, pattern, kind, clients);
+                                   })
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace
+}  // namespace adets::bench
+
+BENCHMARK_MAIN();

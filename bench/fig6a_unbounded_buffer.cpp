@@ -1,0 +1,86 @@
+// Reproduces paper Figure 6(a): unbounded buffer (producer/consumer
+// with condition variables).
+//
+// One producer client and 1..10 consumer clients in closed loops.  SEQ
+// cannot block inside consume(), so its consumers poll periodically
+// (paper Sec. 5.5); all other strategies use the blocking consume()
+// with a condition variable.  Metric: average time per *consumer*
+// invocation.
+//
+// Expected shapes: the condvar strategies scale linearly with a gentle
+// slope (SAT minimally best, PDS close, LSA pays the leader-follower
+// communication); SEQ's polling steepens as consumers multiply.
+#include "bench_common.hpp"
+
+namespace adets::bench {
+namespace {
+
+constexpr std::uint64_t kPollPeriodPaperMs = 5;
+
+void run_point(benchmark::State& state, sched::SchedulerKind kind, int consumers) {
+  for (auto _ : state) {
+    runtime::Cluster cluster(figure_cluster_config());
+    // PDS pool: producer + consumers can all be in flight.
+    sched::SchedulerConfig sched_config = sched_config_for(kind, consumers + 1);
+    const auto buffer = cluster.create_group(
+        3, kind, [] { return std::make_unique<workload::UnboundedBuffer>(); },
+        sched_config);
+
+    // Producer: closed loop; its rate is bounded by its own invocation
+    // round trip, as in the paper.
+    runtime::Client& producer = cluster.create_client();
+    std::atomic<bool> stop_producer{false};
+    std::thread producer_thread([&] {
+      std::uint64_t item = 0;
+      while (!stop_producer.load()) {
+        producer.invoke(buffer, "produce", workload::pack_u64(item++));
+      }
+    });
+
+    const bool polling = kind == sched::SchedulerKind::kSeq;
+    PointGuard stall_guard(cluster, buffer, "Fig6a" + std::string("/") + std::to_string(consumers));
+    const auto result = run_closed_loop(
+        cluster, consumers, [&](runtime::Client& client, common::Rng&, int) {
+          if (!polling) {
+            client.invoke(buffer, "consume", {});
+            return;
+          }
+          // Polling variant for the sequential scheduler.
+          while (true) {
+            const auto reply =
+                workload::unpack_u64(client.invoke(buffer, "poll_consume", {}));
+            if (reply[0] == 1) return;
+            common::Clock::sleep_paper(common::paper_ms(kPollPeriodPaperMs));
+          }
+        });
+    stop_producer.store(true);
+    producer_thread.join();
+    report(state, result);
+  }
+}
+
+void register_all() {
+  for (const auto kind :
+       {sched::SchedulerKind::kSeq, sched::SchedulerKind::kSat,
+        sched::SchedulerKind::kMat, sched::SchedulerKind::kLsa,
+        sched::SchedulerKind::kPds}) {
+    for (const int consumers : client_counts()) {
+      const std::string name = "Fig6a/" + sched::to_string(kind) +
+                               "/consumers:" + std::to_string(consumers);
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [kind, consumers](benchmark::State& s) {
+                                     run_point(s, kind, consumers);
+                                   })
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace
+}  // namespace adets::bench
+
+BENCHMARK_MAIN();

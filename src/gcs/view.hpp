@@ -1,0 +1,32 @@
+// Membership views.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace adets::gcs {
+
+/// A membership view of one replica group.  Members are kept sorted by
+/// node id; the sequencer (and, for ADETS-LSA, the leader) is the member
+/// with the lowest id.
+struct View {
+  common::ViewId id;
+  std::vector<common::NodeId> members;
+
+  [[nodiscard]] common::NodeId sequencer() const {
+    return members.empty() ? common::NodeId::invalid() : members.front();
+  }
+
+  [[nodiscard]] bool contains(common::NodeId node) const {
+    return std::find(members.begin(), members.end(), node) != members.end();
+  }
+
+  static View initial(std::vector<common::NodeId> members) {
+    std::sort(members.begin(), members.end());
+    return View{common::ViewId(0), std::move(members)};
+  }
+};
+
+}  // namespace adets::gcs

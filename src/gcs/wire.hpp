@@ -1,0 +1,83 @@
+// Wire encoding of group-communication protocol messages.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialization.hpp"
+#include "common/types.hpp"
+#include "gcs/view.hpp"
+
+namespace adets::gcs {
+
+/// Protocol message kinds multiplexed over the transport.
+enum class WireKind : std::uint8_t {
+  kSubmit = 1,     // sender -> sequencer (or member, forwarded): order me
+  kSubmitAck = 2,  // sequencer -> external sender: your message is sequenced
+  kSeqMsg = 3,     // sequencer -> members: totally ordered message
+  kNack = 4,       // member -> sequencer: retransmit sequence range
+  kHeartbeat = 5,  // member -> members: liveness
+  kViewPropose = 6,
+  kViewAck = 7,
+  kViewCommit = 8,
+  kDirect = 9,  // point-to-point datagram outside any total order
+};
+
+/// A message submitted for total ordering.  (sender, sender_msg_id) makes
+/// submissions idempotent across retransmissions and sequencer fail-over.
+struct Submission {
+  common::NodeId sender;
+  std::uint64_t sender_msg_id = 0;
+  common::Bytes payload;
+};
+
+/// A sequenced message as retained/delivered by members.
+struct Sequenced {
+  common::SeqNo seq;
+  Submission submission;
+};
+
+// --- encoding helpers -----------------------------------------------------
+
+inline void encode_submission(common::Writer& w, const Submission& s) {
+  w.u32(s.sender.value());
+  w.u64(s.sender_msg_id);
+  w.blob(s.payload);
+}
+
+inline Submission decode_submission(common::Reader& r) {
+  Submission s;
+  s.sender = common::NodeId(r.u32());
+  s.sender_msg_id = r.u64();
+  s.payload = r.blob();
+  return s;
+}
+
+inline void encode_sequenced(common::Writer& w, const Sequenced& m) {
+  w.id(m.seq);
+  encode_submission(w, m.submission);
+}
+
+inline Sequenced decode_sequenced(common::Reader& r) {
+  Sequenced m;
+  m.seq = r.id<common::SeqNo>();
+  m.submission = decode_submission(r);
+  return m;
+}
+
+inline void encode_view(common::Writer& w, const View& v) {
+  w.u32(v.id.value());
+  w.u32(static_cast<std::uint32_t>(v.members.size()));
+  for (auto m : v.members) w.u32(m.value());
+}
+
+inline View decode_view(common::Reader& r) {
+  View v;
+  v.id = common::ViewId(r.u32());
+  const auto n = r.u32();
+  v.members.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) v.members.emplace_back(r.u32());
+  return v;
+}
+
+}  // namespace adets::gcs

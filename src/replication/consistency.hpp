@@ -1,0 +1,34 @@
+// Cross-replica consistency checking.
+//
+// After (or during) a run, compares the replicas of a group on two
+// axes: the object state hash, and the per-mutex projections of the
+// lock-grant traces (the global interleaving across different mutexes
+// is legitimately nondeterministic for truly multithreaded strategies;
+// the per-mutex grant order is the determinism contract).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+
+namespace adets::repl {
+
+struct ConsistencyReport {
+  bool states_match = false;
+  bool grant_orders_match = false;
+  std::vector<std::uint64_t> state_hashes;
+  std::string detail;
+
+  [[nodiscard]] bool consistent() const { return states_match && grant_orders_match; }
+};
+
+/// Per-mutex grantee sequences of one grant trace.
+std::map<std::uint64_t, std::vector<std::uint64_t>> per_mutex_projection(
+    const std::vector<sched::GrantRecord>& trace);
+
+/// Compares all live replicas of `group`.
+ConsistencyReport check_group(runtime::Cluster& cluster, common::GroupId group);
+
+}  // namespace adets::repl

@@ -1,0 +1,43 @@
+// Passive-replication style log re-execution.
+//
+// The paper's Sec. 1 motivates deterministic multithreading for passive
+// replication too: after a primary failure, a backup re-executes the
+// logged requests since the last checkpoint and must reach the state
+// the primary had — which requires the re-execution to schedule threads
+// exactly like the original run.
+//
+// ReplayHost re-executes a recorded EventLog against a fresh object
+// under a fresh scheduler instance of the same kind:
+//  - application requests are fed in their logged (total) order;
+//  - nested invocations are answered from the logged replies (the
+//    outside world is not contacted again);
+//  - scheduler messages (LSA mutex tables, timeout broadcasts) are fed
+//    verbatim, so an LSA replayer acts as a follower of the original
+//    leader and replays its grant order, and timed waits resolve the
+//    same way they originally did;
+//  - broadcasts attempted by the replaying scheduler are dropped (their
+//    originals are already in the log).
+//
+// replay_log() returns the state hash of the re-built object; it must
+// equal the live replicas' hash.
+#pragma once
+
+#include <memory>
+
+#include "runtime/replica.hpp"
+
+namespace adets::repl {
+
+struct ReplayResult {
+  bool complete = false;          // every logged request re-executed
+  std::uint64_t state_hash = 0;
+  std::uint64_t requests_executed = 0;
+};
+
+/// Re-executes `log` under a fresh `kind` scheduler against a fresh
+/// object from `factory`.
+ReplayResult replay_log(const runtime::EventLog& log, sched::SchedulerKind kind,
+                        sched::SchedulerConfig config, runtime::ObjectFactory factory,
+                        std::chrono::milliseconds timeout = std::chrono::seconds(60));
+
+}  // namespace adets::repl

@@ -1,0 +1,45 @@
+// Helpers for building replica state hashes.
+//
+// Replicated objects combine their fields into a single 64-bit digest;
+// consistent replicas must produce identical digests.  The mixing is
+// order-sensitive, so container iteration order matters — use ordered
+// containers (or sort) when hashing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace adets::repl {
+
+class StateHash {
+ public:
+  StateHash& mix(std::uint64_t value) {
+    state_ ^= value + 0x9e3779b97f4a7c15ULL + (state_ << 6) + (state_ >> 2);
+    return *this;
+  }
+
+  StateHash& mix(std::int64_t value) { return mix(static_cast<std::uint64_t>(value)); }
+  StateHash& mix(int value) { return mix(static_cast<std::uint64_t>(value)); }
+
+  StateHash& mix(const std::string& value) {
+    std::uint64_t h = 14695981039346656037ULL;  // FNV-1a
+    for (const char c : value) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 1099511628211ULL;
+    }
+    return mix(h);
+  }
+
+  template <typename Range>
+  StateHash& mix_range(const Range& range) {
+    for (const auto& item : range) mix(item);
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0x2545f4914f6cdd1dULL;
+};
+
+}  // namespace adets::repl

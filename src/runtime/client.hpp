@@ -1,0 +1,60 @@
+// Client stub: invokes methods of a replica group from a non-member node.
+//
+// Requests are submitted into the group's total order; every replica
+// executes the method (active replication) and sends a direct reply; the
+// client accepts the first reply per request (the others are duplicates
+// by construction).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "gcs/group_service.hpp"
+#include "runtime/wire.hpp"
+
+namespace adets::runtime {
+
+class Client {
+ public:
+  /// `gcs` must be a service on the client's own node.
+  explicit Client(gcs::GroupService& gcs);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Makes `group` (with the given members) invocable.
+  void connect(common::GroupId group, std::vector<common::NodeId> members);
+
+  /// Synchronous invocation; returns the first replica reply.  Throws
+  /// std::runtime_error on timeout (real time).
+  common::Bytes invoke(common::GroupId group, const std::string& method,
+                       const common::Bytes& args,
+                       std::chrono::milliseconds timeout = std::chrono::seconds(60));
+
+  /// Fire-and-forget invocation (no reply expected).
+  void invoke_oneway(common::GroupId group, const std::string& method,
+                     const common::Bytes& args);
+
+  [[nodiscard]] common::NodeId node() const { return gcs_.self(); }
+
+ private:
+  struct PendingReply {
+    bool ready = false;
+    common::Bytes result;
+  };
+
+  common::RequestId next_request_id();
+  void on_direct(common::NodeId src, const common::Bytes& payload);
+
+  gcs::GroupService& gcs_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t counter_ = 0;
+  std::map<std::uint64_t, PendingReply> pending_;
+};
+
+}  // namespace adets::runtime

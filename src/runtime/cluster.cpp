@@ -1,0 +1,123 @@
+#include "runtime/cluster.hpp"
+
+#include <stdexcept>
+
+namespace adets::runtime {
+
+using common::GroupId;
+using common::NodeId;
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config),
+      net_(std::make_unique<transport::SimNetwork>(config.link, config.seed)) {}
+
+Cluster::~Cluster() { stop(); }
+
+void Cluster::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  // Order: replicas (schedulers) first, then group services, then net.
+  for (auto& group : groups_) {
+    for (auto& replica : group->replicas) replica->stop();
+  }
+  for (auto& group : groups_) {
+    for (auto& service : group->services) service->stop();
+  }
+  for (auto& client : clients_) client->service->stop();
+  net_->stop();
+}
+
+GroupId Cluster::create_group(int replicas, sched::SchedulerKind kind,
+                              ObjectFactory factory,
+                              sched::SchedulerConfig sched_config) {
+  auto handle = std::make_unique<GroupHandle>();
+  handle->id = GroupId(next_group_++);
+  for (int i = 0; i < replicas; ++i) handle->nodes.push_back(net_->create_node());
+  directory_->add(handle->id, handle->nodes);
+  for (int i = 0; i < replicas; ++i) {
+    handle->services.push_back(
+        std::make_unique<gcs::GroupService>(*net_, handle->nodes[i], config_.gcs));
+  }
+  for (int i = 0; i < replicas; ++i) {
+    handle->replicas.push_back(std::make_unique<Replica>(
+        *handle->services[i], handle->id, handle->nodes,
+        sched::make_scheduler(kind, sched_config), factory(), directory_));
+  }
+  const GroupId id = handle->id;
+  groups_.push_back(std::move(handle));
+  return id;
+}
+
+Client& Cluster::create_client() {
+  auto handle = std::make_unique<ClientHandle>();
+  const NodeId node = net_->create_node();
+  handle->service = std::make_unique<gcs::GroupService>(*net_, node, config_.gcs);
+  handle->client = std::make_unique<Client>(*handle->service);
+  for (const auto& group : groups_) {
+    handle->client->connect(group->id, group->nodes);
+  }
+  Client& client = *handle->client;
+  clients_.push_back(std::move(handle));
+  return client;
+}
+
+Replica& Cluster::replica(GroupId group, int index) {
+  for (auto& handle : groups_) {
+    if (handle->id == group) return *handle->replicas.at(index);
+  }
+  throw std::out_of_range("no such group");
+}
+
+int Cluster::group_size(GroupId group) const {
+  for (const auto& handle : groups_) {
+    if (handle->id == group) return static_cast<int>(handle->replicas.size());
+  }
+  return 0;
+}
+
+std::vector<NodeId> Cluster::members(GroupId group) const {
+  for (const auto& handle : groups_) {
+    if (handle->id == group) return handle->nodes;
+  }
+  return {};
+}
+
+std::vector<std::uint64_t> Cluster::state_hashes(GroupId group) {
+  std::vector<std::uint64_t> hashes;
+  for (auto& handle : groups_) {
+    if (handle->id != group) continue;
+    for (std::size_t i = 0; i < handle->replicas.size(); ++i) {
+      if (net_->crashed(handle->nodes[i])) continue;
+      hashes.push_back(handle->replicas[i]->state_hash());
+    }
+  }
+  return hashes;
+}
+
+bool Cluster::wait_drained(GroupId group, std::uint64_t count,
+                           std::chrono::milliseconds timeout) {
+  const auto deadline = common::Clock::now() + timeout;
+  for (auto& handle : groups_) {
+    if (handle->id != group) continue;
+    for (std::size_t i = 0; i < handle->replicas.size(); ++i) {
+      if (net_->crashed(handle->nodes[i])) continue;
+      while (handle->replicas[i]->completed_requests() < count) {
+        if (common::Clock::now() > deadline) return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+void Cluster::crash_replica(GroupId group, int index) {
+  for (auto& handle : groups_) {
+    if (handle->id == group) {
+      net_->crash(handle->nodes.at(index));
+      return;
+    }
+  }
+}
+
+}  // namespace adets::runtime

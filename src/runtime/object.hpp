@@ -1,0 +1,38 @@
+// The replicated-object programming model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/serialization.hpp"
+
+namespace adets::runtime {
+
+class SyncContext;
+
+/// Base class of application objects deployed in a replica group.
+///
+/// A replicated object implements `dispatch`, which receives the method
+/// name, marshalled arguments and a SyncContext.  All synchronisation —
+/// locks, condition variables, nested invocations — must go through the
+/// context so the configured ADETS scheduler can keep the replicas
+/// deterministic (the C++ analogue of the paper's code transformation /
+/// manual deployment, Sec. 3.1).
+class ReplicatedObject {
+ public:
+  virtual ~ReplicatedObject() = default;
+
+  /// Executes one method invocation and returns the marshalled result.
+  virtual common::Bytes dispatch(const std::string& method, const common::Bytes& args,
+                                 SyncContext& ctx) = 0;
+
+  /// Hash over the replica-visible state; identical across consistent
+  /// replicas.  Used by the consistency checker.
+  [[nodiscard]] virtual std::uint64_t state_hash() const { return 0; }
+};
+
+/// Factory invoked once per replica.
+using ObjectFactory = std::function<std::unique_ptr<ReplicatedObject>()>;
+
+}  // namespace adets::runtime

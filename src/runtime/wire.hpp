@@ -1,0 +1,112 @@
+// Application-level message encoding carried inside GCS payloads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/serialization.hpp"
+#include "common/types.hpp"
+
+namespace adets::runtime {
+
+/// Payload kinds inside a group's total order.
+enum class AppWireKind : std::uint8_t {
+  kRequest = 1,      // client request or nested invocation
+  kNestedReply = 2,  // reply from a callee group into the caller's order
+  kSchedMsg = 3,     // scheduler-internal broadcast (LSA tables, timeouts)
+};
+
+/// Where the reply of a request must go.
+enum class ReplyMode : std::uint8_t {
+  kDirectToNode = 0,  // point-to-point datagram to a client node
+  kIntoGroup = 1,     // submitted into the caller group's total order
+  kNone = 2,          // fire-and-forget (poison etc.)
+};
+
+/// Decoded invocation request.
+struct RequestMessage {
+  common::RequestId id;
+  common::LogicalThreadId logical;
+  ReplyMode reply_mode = ReplyMode::kDirectToNode;
+  std::uint32_t reply_target = 0;  // node id or group id
+  std::string method;
+  common::Bytes args;
+};
+
+struct NestedReplyMessage {
+  common::RequestId request;
+  common::Bytes result;
+};
+
+struct SchedMsgMessage {
+  common::NodeId sender;
+  common::Bytes payload;
+};
+
+inline common::Bytes encode_request(const RequestMessage& m) {
+  common::Writer w;
+  w.u8(static_cast<std::uint8_t>(AppWireKind::kRequest));
+  w.id(m.id);
+  w.id(m.logical);
+  w.u8(static_cast<std::uint8_t>(m.reply_mode));
+  w.u32(m.reply_target);
+  w.str(m.method);
+  w.blob(m.args);
+  return w.take();
+}
+
+inline common::Bytes encode_nested_reply(const NestedReplyMessage& m) {
+  common::Writer w;
+  w.u8(static_cast<std::uint8_t>(AppWireKind::kNestedReply));
+  w.id(m.request);
+  w.blob(m.result);
+  return w.take();
+}
+
+inline common::Bytes encode_sched_msg(const SchedMsgMessage& m) {
+  common::Writer w;
+  w.u8(static_cast<std::uint8_t>(AppWireKind::kSchedMsg));
+  w.u32(m.sender.value());
+  w.blob(m.payload);
+  return w.take();
+}
+
+/// Deterministic, collision-resistant nested request id: every replica
+/// executing the same logical code derives the same id, so the callee's
+/// at-most-once filter and the caller-side reply matching line up.  The
+/// passive-replication replay harness derives identical ids to look up
+/// recorded replies.
+inline common::RequestId derive_nested_id(common::RequestId parent,
+                                          std::uint64_t counter) {
+  std::uint64_t state = parent.value() ^ (counter * 0x9e3779b97f4a7c15ULL);
+  return common::RequestId(common::splitmix64(state) | (1ULL << 63));
+}
+
+/// Reply datagram from a replica to a client node.
+struct ClientReply {
+  common::RequestId request;
+  common::Bytes result;
+};
+
+inline common::Bytes encode_client_reply(const ClientReply& m) {
+  common::Writer w;
+  w.id(m.request);
+  w.blob(m.result);
+  return w.take();
+}
+
+inline std::optional<ClientReply> decode_client_reply(const common::Bytes& payload) {
+  try {
+    common::Reader r(payload);
+    ClientReply m;
+    m.request = r.id<common::RequestId>();
+    m.result = r.blob();
+    return m;
+  } catch (const common::SerializationError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace adets::runtime

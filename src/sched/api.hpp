@@ -1,0 +1,216 @@
+// ADETS scheduler plug-in interface.
+//
+// This is the C++ analogue of FTflex's configurable ADETS module (paper
+// Sec. 5.1): the scheduler sits between the group-communication module
+// (which feeds it totally-ordered events) and the object adapter (which
+// it calls to execute requests).  Application threads created by the
+// scheduler call back into it for every synchronisation operation, and
+// the scheduler decides — deterministically, identically on every
+// replica — when each thread may proceed.
+//
+// Determinism contract: a scheduler may consume only
+//   (1) the totally-ordered event stream (on_request / on_reply /
+//       on_scheduler_message / on_view, in delivery order), and
+//   (2) each thread's own program order (the sequence of downcalls it
+//       makes).
+// Real-time information (which thread reached its lock first) must never
+// influence the *order* of lock grants, wait-queue positions or timeout
+// resolutions — except on the ADETS-LSA leader, where real-time races are
+// legal because their outcome is recorded and replayed by followers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/serialization.hpp"
+#include "common/types.hpp"
+
+namespace adets::sched {
+
+/// The strategies surveyed/contributed by the paper.
+enum class SchedulerKind {
+  kSeq,  // strictly sequential execution (baseline)
+  kSl,   // single logical thread (Eternal)
+  kSat,  // ADETS-SAT: single active thread + logical-thread ids
+  kMat,  // ADETS-MAT: primary + concurrent secondaries
+  kLsa,  // ADETS-LSA: leader/follower loose synchronisation
+  kPds,  // ADETS-PDS: preemptive deterministic scheduling (rounds)
+};
+
+[[nodiscard]] std::string to_string(SchedulerKind kind);
+
+/// Property matrix row (paper Table 1).
+struct SchedulerCapabilities {
+  std::string coordination;   // "implicit", "Locks", "Java", ...
+  std::string deadlock_free;  // "-", "CB", "NI+CB", "NO"
+  std::string deployment;     // "-", "interception", "transformation", "manual"
+  std::string multithreading; // "S", "SL", "SA", "SA+L", "MA", "MA (restr.)"
+  bool reentrant_locks = false;
+  bool condition_variables = false;
+  bool timed_wait = false;
+  bool true_multithreading = false;
+  bool needs_communication = false;  // extra messages to grant locks
+};
+
+/// What kind of work a delivered request represents.
+enum class RequestKind : std::uint8_t {
+  kApplication = 0,  // client or nested invocation of an object method
+  kTimeout = 1,      // internal: resume a timed-out wait()
+  kPoison = 2,       // internal: orderly worker shutdown (PDS pools)
+  kNoop = 3,         // internal: PDS artificial request (paper Sec. 3.2:
+                     // keeps rounds starting when clients fall silent)
+};
+
+/// Payload of a kTimeout request.
+struct TimeoutInfo {
+  common::ThreadId thread;        // the waiting thread to resume
+  common::MutexId mutex;          // guarding mutex of the wait
+  common::CondVarId condvar;
+  std::uint64_t generation = 0;   // wait-generation; stale timeouts no-op
+};
+
+/// One totally-ordered unit of work handed to the scheduler.
+struct Request {
+  RequestKind kind = RequestKind::kApplication;
+  common::RequestId id;
+  common::LogicalThreadId logical;
+  common::Bytes payload;   // opaque to the scheduler (runtime decodes)
+  TimeoutInfo timeout;     // valid when kind == kTimeout
+};
+
+/// Result of a wait(): notified or timed out (Java semantics).
+struct WaitResult {
+  bool notified = true;
+};
+
+/// Aggregate counters of one scheduler instance (monotone; thread-safe
+/// snapshot via Scheduler::stats()).
+struct SchedulerStats {
+  std::uint64_t lock_grants = 0;      // base-level acquisitions
+  std::uint64_t waits = 0;            // wait() calls
+  std::uint64_t notifies = 0;         // notify_one/notify_all calls
+  std::uint64_t timeouts_fired = 0;   // waits actually resumed by timeout
+  std::uint64_t nested_calls = 0;     // synchronous nested invocations
+  std::uint64_t threads_spawned = 0;  // physical scheduler threads created
+  std::uint64_t broadcasts = 0;       // scheduler messages sent (LSA tables,
+                                      // timeout messages, PDS no-ops)
+  std::uint64_t activations = 0;      // SAT activations / MAT token grants
+  std::uint64_t rounds = 0;           // PDS rounds
+};
+
+/// One recorded lock grant; replicas must produce identical traces.
+struct GrantRecord {
+  common::MutexId mutex;
+  common::ThreadId thread;
+  friend bool operator==(const GrantRecord&, const GrantRecord&) = default;
+};
+
+/// Services the hosting runtime provides to a scheduler.
+class SchedulerEnv {
+ public:
+  virtual ~SchedulerEnv() = default;
+
+  /// Executes an application request (unmarshal, dispatch to the object,
+  /// send the reply).  Called on a scheduler-managed thread.  The
+  /// object's synchronisation operations re-enter the scheduler.
+  virtual void execute(const Request& request) = 0;
+
+  /// Broadcasts a scheduler-internal message into this replica group's
+  /// total order (LSA mutex tables, timeout messages).  It is delivered
+  /// to every replica's on_scheduler_message in the same order.
+  virtual void broadcast(const common::Bytes& payload) = 0;
+
+  /// This replica's node id.
+  [[nodiscard]] virtual common::NodeId self() const = 0;
+
+  /// Members of the current view, sorted; front() is the LSA leader.
+  [[nodiscard]] virtual std::vector<common::NodeId> view_members() const = 0;
+};
+
+/// The deterministic thread scheduler interface (one instance per replica).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual SchedulerKind kind() const = 0;
+  [[nodiscard]] virtual SchedulerCapabilities capabilities() const = 0;
+
+  /// Binds the environment and starts worker machinery.
+  virtual void start(SchedulerEnv& env) = 0;
+
+  /// Stops all threads.  In-flight requests are abandoned; only call
+  /// after the workload has drained (or when tearing a replica down).
+  virtual void stop() = 0;
+
+  // --- totally-ordered event stream (GCS delivery thread; non-blocking) ---
+
+  virtual void on_request(Request request) = 0;
+  virtual void on_reply(common::RequestId nested_id) = 0;
+  virtual void on_scheduler_message(common::NodeId sender, const common::Bytes& payload) = 0;
+  virtual void on_view_change(const std::vector<common::NodeId>& members) = 0;
+
+  // --- downcalls from scheduler-managed application threads --------------
+
+  virtual void lock(common::MutexId mutex) = 0;
+  virtual void unlock(common::MutexId mutex) = 0;
+
+  /// Releases `mutex`, waits on `condvar`, reacquires `mutex`.
+  /// `timeout` is paper time; Duration::zero() waits indefinitely.
+  /// Requires condition_variables capability.
+  virtual WaitResult wait(common::MutexId mutex, common::CondVarId condvar,
+                          common::Duration timeout) = 0;
+
+  virtual void notify_one(common::MutexId mutex, common::CondVarId condvar) = 0;
+  virtual void notify_all(common::MutexId mutex, common::CondVarId condvar) = 0;
+
+  /// Voluntary scheduling point (paper Sec. 5.3: yield operations
+  /// "enable a selection of a new primary thread without reaching an
+  /// implicit scheduling point", alleviating ADETS-MAT's worst case).
+  /// No-op for strategies without an activity/primary token.
+  virtual void yield() {}
+
+  /// Brackets a synchronous nested invocation: the calling thread is
+  /// about to block until on_reply(nested_id) is delivered.
+  virtual void before_nested_call(common::RequestId nested_id) = 0;
+  /// Blocks until the reply arrived *and* the strategy re-admits the
+  /// thread (e.g. SAT re-activates it in deterministic order).
+  virtual void after_nested_call(common::RequestId nested_id) = 0;
+
+  // --- introspection -------------------------------------------------------
+
+  /// When enabled, every base-level lock grant is recorded; replicas of
+  /// the same group must produce identical traces (determinism tests).
+  virtual void set_trace(bool enabled) = 0;
+  [[nodiscard]] virtual std::vector<GrantRecord> grant_trace() const = 0;
+
+  /// Number of requests whose execution completed (drain detection).
+  [[nodiscard]] virtual std::uint64_t completed_requests() const = 0;
+
+  /// Snapshot of the aggregate counters.
+  [[nodiscard]] virtual SchedulerStats stats() const = 0;
+};
+
+/// Strategy-specific knobs (only the relevant subset applies to each).
+struct SchedulerConfig {
+  // PDS ----------------------------------------------------------------
+  int pds_variant = 1;              // 1 = PDS-1, 2 = PDS-2
+  std::size_t pds_thread_pool = 4;  // initial/fixed pool size
+  bool pds_round_robin_assignment = false;  // false = synchronized (paper default)
+  std::size_t pds_min_nonwaiting = 1;       // pool-resize threshold (ADETS-PDS)
+  /// How long a fetch-idle worker waits before broadcasting an
+  /// artificial request to un-wedge the round (real time).
+  common::Duration pds_idle_fill_interval = std::chrono::milliseconds(10);
+  // LSA ----------------------------------------------------------------
+  std::size_t lsa_batch_grants = 1;         // grants per mutex-table broadcast
+  common::Duration lsa_batch_delay = common::Duration::zero();  // max batching delay (real)
+  bool lsa_dynamic_mutex_ids = true;        // ADETS-LSA dynamic registration
+};
+
+/// Factory used by the runtime and benches.
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, SchedulerConfig config = {});
+
+}  // namespace adets::sched

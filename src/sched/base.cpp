@@ -1,0 +1,416 @@
+#include "sched/base.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace adets::sched {
+
+using common::CondVarId;
+using common::Duration;
+using common::LogicalThreadId;
+using common::MutexId;
+using common::RequestId;
+using common::ThreadId;
+
+SchedulerBase::ThreadRecord*& SchedulerBase::tls_slot() {
+  static thread_local ThreadRecord* slot = nullptr;
+  return slot;
+}
+
+std::string to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kSeq: return "SEQ";
+    case SchedulerKind::kSl: return "SL";
+    case SchedulerKind::kSat: return "SAT";
+    case SchedulerKind::kMat: return "MAT";
+    case SchedulerKind::kLsa: return "LSA";
+    case SchedulerKind::kPds: return "PDS";
+  }
+  return "?";
+}
+
+void SchedulerBase::start(SchedulerEnv& env) {
+  env_ = &env;
+  timer_ = std::make_unique<common::TimerService>();
+}
+
+void SchedulerBase::stop() {
+  stopping_.store(true);
+  if (timer_) timer_->stop();
+  {
+    Lk lk(mon_);
+    wake_all_for_stop(lk);
+  }
+  // Join all scheduler threads.  Blocked threads observe stopping() at
+  // their wakeup predicates and unwind.
+  while (true) {
+    std::thread victim;
+    {
+      Lk lk(mon_);
+      for (auto& [id, record] : threads_) {
+        if (record->os_thread.joinable()) {
+          victim = std::move(record->os_thread);
+          break;
+        }
+      }
+    }
+    if (!victim.joinable()) break;
+    victim.join();
+  }
+  Lk lk(mon_);
+  for (auto& t : finished_) {
+    if (t.joinable()) t.join();
+  }
+  finished_.clear();
+}
+
+void SchedulerBase::wake_all_for_stop(Lk&) {
+  for (auto& [id, record] : threads_) record->cv.notify_all();
+}
+
+void SchedulerBase::on_request(Request request) {
+  Lk lk(mon_);
+  if (stopping()) return;
+  handle_request(lk, std::move(request));
+}
+
+void SchedulerBase::on_reply(RequestId nested_id) {
+  Lk lk(mon_);
+  if (stopping()) return;
+  for (auto& [id, record] : threads_) {
+    if (record->pending_nested == nested_id && !record->reply_arrived) {
+      record->reply_arrived = true;
+      handle_reply(lk, *record);
+      return;
+    }
+  }
+  early_replies_.insert(nested_id.value());
+}
+
+void SchedulerBase::on_scheduler_message(common::NodeId /*sender*/,
+                                         const common::Bytes& payload) {
+  const auto info = decode_timeout(payload);
+  if (!info) return;
+  Request request;
+  request.kind = RequestKind::kTimeout;
+  const std::uint64_t internal = (1ULL << 62) | next_internal_request_++;
+  request.id = RequestId(internal);
+  request.logical = LogicalThreadId(internal);
+  request.timeout = *info;
+  on_request(std::move(request));
+}
+
+void SchedulerBase::on_view_change(const std::vector<common::NodeId>&) {}
+
+// --- synchronisation downcalls ----------------------------------------------
+
+void SchedulerBase::lock(MutexId mutex) {
+  ThreadRecord& t = current();
+  Lk lk(mon_);
+  ReentrantState& r = reentrant_[mutex.value()];
+  if (r.owner == t.logical) {
+    r.count++;
+    return;
+  }
+  base_lock(lk, t, mutex);
+  ReentrantState& r2 = reentrant_[mutex.value()];  // map may have rehashed
+  r2.owner = t.logical;
+  r2.count = 1;
+}
+
+void SchedulerBase::unlock(MutexId mutex) {
+  ThreadRecord& t = current();
+  Lk lk(mon_);
+  ReentrantState& r = reentrant_[mutex.value()];
+  if (r.owner != t.logical || r.count <= 0) {
+    if (stopping()) return;  // lock state is torn during shutdown
+    throw std::logic_error("unlock of mutex not held by this logical thread");
+  }
+  if (--r.count > 0) return;
+  r.owner = LogicalThreadId::invalid();
+  base_unlock(lk, t, mutex);
+}
+
+WaitResult SchedulerBase::wait(MutexId mutex, CondVarId condvar, Duration timeout) {
+  if (!capabilities().condition_variables) {
+    throw std::logic_error(to_string(kind()) + " does not support condition variables");
+  }
+  ThreadRecord& t = current();
+  Lk lk(mon_);
+  ReentrantState& r = reentrant_[mutex.value()];
+  if (r.owner != t.logical || r.count <= 0) {
+    if (stopping()) return WaitResult{false};
+    throw std::logic_error("wait() requires holding the mutex");
+  }
+  if (stopping()) return WaitResult{false};
+  // Java semantics: wait releases the monitor completely, whatever the
+  // recursion depth, and restores the depth on return.
+  const int saved_count = r.count;
+  r.count = 0;
+  r.owner = LogicalThreadId::invalid();
+  stats_.waits++;
+  const std::uint64_t generation = ++t.wait_generation;
+  if (timeout.count() > 0) {
+    if (!capabilities().timed_wait) {
+      throw std::logic_error(to_string(kind()) + " does not support timed waits");
+    }
+    arm_wait_timer(t, mutex, condvar, generation, timeout);
+  }
+  const WaitResult result = base_wait(lk, t, mutex, condvar, generation, timeout);
+  ReentrantState& r2 = reentrant_[mutex.value()];
+  r2.owner = t.logical;
+  r2.count = saved_count;
+  return result;
+}
+
+void SchedulerBase::notify_one(MutexId mutex, CondVarId condvar) {
+  // Note: notify is permitted even without condvar support (it can have
+  // no effect there), so condvar-style objects run under SEQ/SL with
+  // polling consumers.
+  ThreadRecord& t = current();
+  Lk lk(mon_);
+  const ReentrantState& r = reentrant_[mutex.value()];
+  if (r.owner != t.logical) {
+    if (stopping()) return;
+    throw std::logic_error("notify requires holding the mutex");
+  }
+  stats_.notifies++;
+  base_notify(lk, t, mutex, condvar, /*all=*/false);
+}
+
+void SchedulerBase::notify_all(MutexId mutex, CondVarId condvar) {
+  ThreadRecord& t = current();
+  Lk lk(mon_);
+  const ReentrantState& r = reentrant_[mutex.value()];
+  if (r.owner != t.logical) {
+    if (stopping()) return;
+    throw std::logic_error("notify requires holding the mutex");
+  }
+  stats_.notifies++;
+  base_notify(lk, t, mutex, condvar, /*all=*/true);
+}
+
+void SchedulerBase::before_nested_call(RequestId nested_id) {
+  ThreadRecord& t = current();
+  Lk lk(mon_);
+  stats_.nested_calls++;
+  t.pending_nested = nested_id;
+  t.reply_arrived = early_replies_.erase(nested_id.value()) > 0;
+  base_before_nested(lk, t);
+  if (t.reply_arrived) handle_reply(lk, t);
+}
+
+void SchedulerBase::after_nested_call(RequestId) {
+  ThreadRecord& t = current();
+  Lk lk(mon_);
+  base_after_nested(lk, t);
+  t.pending_nested = RequestId::invalid();
+  t.reply_arrived = false;
+}
+
+// --- introspection ------------------------------------------------------------
+
+std::string SchedulerBase::debug_dump() const {
+  static const char* names[] = {"starting", "running",  "blk-lock", "blk-wait",
+                                "blk-reacq", "blk-nested", "blk-adm", "done"};
+  const std::lock_guard<std::mutex> guard(mon_);
+  std::string out = to_string(kind()) + " threads:";
+  for (const auto& [id, t] : threads_) {
+    out += " [" + std::to_string(id) + ":" +
+           names[static_cast<int>(t->state)] +
+           (t->wanted_mutex.valid() ? " w=" + std::to_string(t->wanted_mutex.value())
+                                    : "") +
+           "]";
+  }
+  debug_extra(out);
+  return out;
+}
+
+void SchedulerBase::set_trace(bool enabled) {
+  Lk lk(mon_);
+  trace_enabled_ = enabled;
+}
+
+std::vector<GrantRecord> SchedulerBase::grant_trace() const {
+  const std::lock_guard<std::mutex> guard(mon_);
+  return trace_;
+}
+
+std::uint64_t SchedulerBase::completed_requests() const {
+  return completed_.load(std::memory_order_relaxed);
+}
+
+SchedulerStats SchedulerBase::stats() const {
+  const std::lock_guard<std::mutex> guard(mon_);
+  return stats_;
+}
+
+void SchedulerBase::record_grant(MutexId mutex, ThreadId thread) {
+  stats_.lock_grants++;
+  if (trace_enabled_) trace_.push_back(GrantRecord{mutex, thread});
+}
+
+// --- thread machinery -----------------------------------------------------------
+
+SchedulerBase::ThreadRecord& SchedulerBase::spawn_thread(
+    Lk&, Request request, std::optional<ThreadId> forced_id, bool internal) {
+  // Reap previously finished threads (join is instantaneous: they only
+  // mark kDone as their final action under mon_).
+  for (auto it = threads_.begin(); it != threads_.end();) {
+    if (it->second->state == ThreadState::kDone && it->second->os_thread.joinable() &&
+        it->second.get() != tls_slot()) {
+      finished_.push_back(std::move(it->second->os_thread));
+      it = threads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (finished_.size() > 64) {
+    for (auto& t : finished_) {
+      if (t.joinable()) t.join();
+    }
+    finished_.clear();
+  }
+
+  const ThreadId id = forced_id.value_or(ThreadId(next_thread_id_));
+  if (!forced_id) next_thread_id_++;
+  stats_.threads_spawned++;
+  auto record = std::make_unique<ThreadRecord>();
+  record->id = id;
+  record->logical = request.logical;
+  record->request = std::move(request);
+  record->internal = internal;
+  ThreadRecord* raw = record.get();
+  threads_.emplace(id.value(), std::move(record));
+  raw->os_thread = std::thread([this, raw] {
+    tls_slot() = raw;
+    thread_body(*raw);
+  });
+  return *raw;
+}
+
+void SchedulerBase::thread_body(ThreadRecord& t) {
+  {
+    Lk lk(mon_);
+    on_thread_start(lk, t);
+    if (stopping()) {
+      t.state = ThreadState::kDone;
+      return;
+    }
+    t.state = ThreadState::kRunning;
+  }
+  run_request_body(t, t.request);
+  {
+    Lk lk(mon_);
+    t.state = ThreadState::kDone;
+    on_thread_done(lk, t);
+  }
+}
+
+SchedulerBase::ThreadRecord& SchedulerBase::current() {
+  if (tls_slot() == nullptr) {
+    throw std::logic_error("synchronisation call from a non-scheduler thread");
+  }
+  return *tls_slot();
+}
+
+void SchedulerBase::block(Lk& lk, ThreadRecord& t) {
+  t.cv.wait(lk, [this, &t] { return t.wake || stopping(); });
+  t.wake = false;
+}
+
+void SchedulerBase::block_for(Lk& lk, ThreadRecord& t, common::Duration real_timeout) {
+  t.cv.wait_for(lk, real_timeout, [this, &t] { return t.wake || stopping(); });
+  t.wake = false;
+}
+
+void SchedulerBase::wake(ThreadRecord& t) {
+  t.wake = true;
+  t.cv.notify_all();
+}
+
+SchedulerBase::ThreadRecord* SchedulerBase::find_thread(Lk&, ThreadId id) {
+  const auto it = threads_.find(id.value());
+  return it == threads_.end() ? nullptr : it->second.get();
+}
+
+void SchedulerBase::run_request_body(ThreadRecord& t, const Request& request) {
+  switch (request.kind) {
+    case RequestKind::kApplication:
+      env_->execute(request);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestKind::kTimeout: {
+      // Paper Sec. 4.2: "This message is handled by a normal
+      // request-handler thread, which notifies the waiting thread.  As
+      // all notifications are synchronized by mutexes, a deterministic
+      // order is guaranteed."
+      this->lock(request.timeout.mutex);
+      {
+        Lk lk(mon_);
+        if (base_resume_timed_out(lk, t, request.timeout.mutex,
+                                  request.timeout.condvar, request.timeout.thread,
+                                  request.timeout.generation)) {
+          stats_.timeouts_fired++;
+        }
+      }
+      this->unlock(request.timeout.mutex);
+      break;
+    }
+    case RequestKind::kPoison:
+    case RequestKind::kNoop:
+      break;
+  }
+}
+
+// --- timed waits ------------------------------------------------------------------
+
+void SchedulerBase::arm_wait_timer(ThreadRecord& t, MutexId mutex, CondVarId condvar,
+                                   std::uint64_t generation, Duration timeout) {
+  const ThreadId id = t.id;
+  timer_->schedule(common::Clock::scaled(timeout),
+                   [this, id, mutex, condvar, generation] {
+                     if (!stopping()) {
+                       on_wait_timer_expired(id, mutex, condvar, generation);
+                     }
+                   });
+}
+
+void SchedulerBase::on_wait_timer_expired(ThreadId thread, MutexId mutex,
+                                          CondVarId condvar, std::uint64_t generation) {
+  TimeoutInfo info{thread, mutex, condvar, generation};
+  {
+    Lk lk(mon_);
+    stats_.broadcasts++;
+  }
+  env_->broadcast(encode_timeout(info));
+}
+
+common::Bytes SchedulerBase::encode_timeout(const TimeoutInfo& info) {
+  common::Writer w;
+  w.u8('T');
+  w.id(info.thread);
+  w.id(info.mutex);
+  w.id(info.condvar);
+  w.u64(info.generation);
+  return w.take();
+}
+
+std::optional<TimeoutInfo> SchedulerBase::decode_timeout(const common::Bytes& payload) {
+  try {
+    common::Reader r(payload);
+    if (r.u8() != 'T') return std::nullopt;
+    TimeoutInfo info;
+    info.thread = r.id<ThreadId>();
+    info.mutex = r.id<MutexId>();
+    info.condvar = r.id<CondVarId>();
+    info.generation = r.u64();
+    return info;
+  } catch (const common::SerializationError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace adets::sched

@@ -1,0 +1,219 @@
+// Shared machinery for all ADETS scheduler implementations.
+//
+// Every concrete scheduler is a monitor: one mutex (mon_) protects all
+// scheduling state; application threads block on per-thread condition
+// variables while the strategy decides, deterministically, when they may
+// proceed.  SchedulerBase provides:
+//
+//  - the thread registry (deterministic ThreadId allocation, spawning,
+//    lazy joining, thread-local current-thread lookup);
+//  - the reentrancy layer (paper Sec. 4): lock counts per logical thread,
+//    so only 0->1 / 1->0 transitions reach the strategy's base_lock /
+//    base_unlock;
+//  - wait-generation bookkeeping for deterministic time-bounded waits,
+//    including the default "broadcast a timeout message, handle it as a
+//    normal request" mechanism used by ADETS-SAT/MAT/PDS (ADETS-LSA
+//    overrides it with the timeout-thread construct of paper Fig. 1);
+//  - grant tracing for cross-replica determinism checks.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "sched/api.hpp"
+
+namespace adets::sched {
+
+/// Lifecycle state of one scheduler-managed thread.
+enum class ThreadState {
+  kStarting,       // spawned, waiting for strategy admission
+  kRunning,        // executing application code
+  kBlockedLock,    // waiting for a mutex grant
+  kBlockedWait,    // inside wait() on a condition variable
+  kBlockedReacquire,  // woken from wait(), waiting to reacquire the mutex
+  kBlockedNested,  // waiting for a nested-invocation reply
+  kBlockedAdmission,  // waiting to become active/primary (SAT/MAT)
+  kDone,
+};
+
+class SchedulerBase : public Scheduler {
+ public:
+  explicit SchedulerBase(SchedulerConfig config) : config_(config) {}
+  ~SchedulerBase() override = default;
+
+  void start(SchedulerEnv& env) override;
+  void stop() override;
+
+  void on_request(Request request) override;
+  void on_reply(common::RequestId nested_id) override;
+  void on_scheduler_message(common::NodeId sender, const common::Bytes& payload) override;
+  void on_view_change(const std::vector<common::NodeId>& members) override;
+
+  void lock(common::MutexId mutex) final;
+  void unlock(common::MutexId mutex) final;
+  WaitResult wait(common::MutexId mutex, common::CondVarId condvar,
+                  common::Duration timeout) final;
+  void notify_one(common::MutexId mutex, common::CondVarId condvar) final;
+  void notify_all(common::MutexId mutex, common::CondVarId condvar) final;
+  void before_nested_call(common::RequestId nested_id) final;
+  void after_nested_call(common::RequestId nested_id) final;
+
+  /// Human-readable snapshot of thread states (diagnostics).
+  [[nodiscard]] std::string debug_dump() const;
+
+  void set_trace(bool enabled) override;
+  [[nodiscard]] std::vector<GrantRecord> grant_trace() const override;
+  [[nodiscard]] std::uint64_t completed_requests() const override;
+  [[nodiscard]] SchedulerStats stats() const override;
+
+ protected:
+  using Lk = std::unique_lock<std::mutex>;
+
+  /// Registry entry of one scheduler-managed thread.  All mutable fields
+  /// are protected by mon_.
+  struct ThreadRecord {
+    common::ThreadId id;
+    common::LogicalThreadId logical;
+    Request request;                 // current work item
+    std::condition_variable cv;      // waits on mon_
+    ThreadState state = ThreadState::kStarting;
+    bool wake = false;               // one-shot wakeup flag for cv
+    // wait()/timeout bookkeeping
+    std::uint64_t wait_generation = 0;
+    bool timed_out = false;
+    bool wait_satisfied = false;  // popped from a condvar queue (LSA/PDS)
+    // nested invocation bookkeeping
+    common::RequestId pending_nested = common::RequestId::invalid();
+    bool reply_arrived = false;
+    // strategy scratch fields (PDS)
+    common::MutexId wanted_mutex = common::MutexId::invalid();
+    int pds_phase = 0;                   // mutexes acquired this round
+    std::uint64_t pds_request_round = 0; // round in which wanted_mutex was requested
+    std::uint64_t pds_granted_round = 0; // round of the last grant
+    bool pds_terminate = false;          // pool-shrink signal
+    std::uint64_t ticket_epoch = 1;      // MAT: re-eligibility generation
+    bool internal = false;               // timeout handler / pool worker
+    std::thread os_thread;
+  };
+
+  // --- strategy hook points (all called with mon_ held via `lk`) ----------
+
+  /// A new totally-ordered request arrived.
+  virtual void handle_request(Lk& lk, Request request) = 0;
+  /// A nested reply for `t` arrived (t.reply_arrived already set).
+  virtual void handle_reply(Lk& lk, ThreadRecord& t) = 0;
+  /// Block the calling thread until it holds `mutex` (base level: the
+  /// reentrancy layer already filtered recursive acquisitions).
+  virtual void base_lock(Lk& lk, ThreadRecord& t, common::MutexId mutex) = 0;
+  virtual void base_unlock(Lk& lk, ThreadRecord& t, common::MutexId mutex) = 0;
+  /// Release `mutex`, enqueue on the condvar's deterministic wait queue,
+  /// block, reacquire `mutex`.  Returns notified/timed-out.
+  virtual WaitResult base_wait(Lk& lk, ThreadRecord& t, common::MutexId mutex,
+                               common::CondVarId condvar, std::uint64_t generation,
+                               common::Duration timeout) = 0;
+  virtual void base_notify(Lk& lk, ThreadRecord& t, common::MutexId mutex,
+                           common::CondVarId condvar, bool all) = 0;
+  /// Resume thread `target` (blocked in wait()) because its timeout
+  /// message arrived; returns false if the wait generation is stale.
+  virtual bool base_resume_timed_out(Lk& lk, ThreadRecord& handler,
+                                     common::MutexId mutex, common::CondVarId condvar,
+                                     common::ThreadId target, std::uint64_t generation) = 0;
+  virtual void base_before_nested(Lk& lk, ThreadRecord& t) = 0;
+  virtual void base_after_nested(Lk& lk, ThreadRecord& t) = 0;
+  /// Called when a thread's work item finished (thread about to exit or
+  /// fetch the next pool assignment).
+  virtual void on_thread_done(Lk& lk, ThreadRecord& t) = 0;
+  /// Called once when the thread starts, before executing its request;
+  /// strategies gate admission here (SAT single-active, MAT secondaries run).
+  virtual void on_thread_start(Lk& lk, ThreadRecord& t) = 0;
+  /// Wake every blocked thread for shutdown.
+  virtual void wake_all_for_stop(Lk& lk);
+
+  /// Appends strategy-specific diagnostics (called with mon_ held).
+  virtual void debug_extra(std::string&) const {}
+
+  /// Top-level function of a spawned OS thread.  The default runs one
+  /// work item: admission gate, execute, completion hook.  PDS overrides
+  /// it with a pool-worker loop.
+  virtual void thread_body(ThreadRecord& t);
+
+  /// A wait() timeout expired locally.  Default: broadcast a timeout
+  /// message handled as a normal request on every replica (dedup by wait
+  /// generation).  ADETS-LSA overrides with the TO-thread construct.
+  virtual void on_wait_timer_expired(common::ThreadId thread, common::MutexId mutex,
+                                     common::CondVarId condvar, std::uint64_t generation);
+
+  // --- helpers -------------------------------------------------------------
+
+  /// Spawns a new scheduler thread for `request`.  ThreadIds are
+  /// allocated in call order, so all replicas must call this in the same
+  /// order (delivery order).  `forced_id` is for threads with derived
+  /// deterministic ids (LSA timeout threads).
+  ThreadRecord& spawn_thread(Lk& lk, Request request,
+                             std::optional<common::ThreadId> forced_id = std::nullopt,
+                             bool internal = false);
+
+  /// The registry record of the calling thread (TLS).
+  ThreadRecord& current();
+
+  /// Blocks `t` on its condition variable until t.wake (resets it).
+  void block(Lk& lk, ThreadRecord& t);
+  /// Like block(), but returns after `real_timeout` even without a wake.
+  void block_for(Lk& lk, ThreadRecord& t, common::Duration real_timeout);
+  /// Makes `t` runnable (sets wake, notifies its cv).
+  void wake(ThreadRecord& t);
+
+  void record_grant(common::MutexId mutex, common::ThreadId thread);
+
+  /// Executes one work item (application request or timeout handler) on
+  /// the calling scheduler thread.  mon_ must NOT be held.
+  void run_request_body(ThreadRecord& t, const Request& request);
+
+  /// Arms the local timer for a timed wait.
+  void arm_wait_timer(ThreadRecord& t, common::MutexId mutex, common::CondVarId condvar,
+                      std::uint64_t generation, common::Duration timeout);
+
+  /// Encodes/decodes the timeout broadcast payload.
+  static common::Bytes encode_timeout(const TimeoutInfo& info);
+  static std::optional<TimeoutInfo> decode_timeout(const common::Bytes& payload);
+
+  [[nodiscard]] ThreadRecord* find_thread(Lk& lk, common::ThreadId id);
+  static ThreadRecord*& tls_slot();
+  [[nodiscard]] bool stopping() const { return stopping_.load(std::memory_order_relaxed); }
+
+  SchedulerConfig config_;
+  SchedulerEnv* env_ = nullptr;
+  mutable std::mutex mon_;
+  std::map<std::uint64_t, std::unique_ptr<ThreadRecord>> threads_;
+  std::uint64_t next_thread_id_ = 0;
+  std::uint64_t next_internal_request_ = 0;
+  std::set<std::uint64_t> early_replies_;  // replies delivered before the caller registered
+  std::vector<std::thread> finished_;      // exited os threads, joined lazily
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> completed_{0};
+
+  // Reentrancy layer (keyed by app mutex id).
+  struct ReentrantState {
+    common::LogicalThreadId owner = common::LogicalThreadId::invalid();
+    int count = 0;
+  };
+  std::unordered_map<std::uint64_t, ReentrantState> reentrant_;
+
+  // Tracing and counters (both guarded by mon_).
+  bool trace_enabled_ = false;
+  std::vector<GrantRecord> trace_;
+  SchedulerStats stats_;
+
+  std::unique_ptr<common::TimerService> timer_;
+};
+
+}  // namespace adets::sched

@@ -1,0 +1,22 @@
+#include "sched/api.hpp"
+#include "sched/lsa.hpp"
+#include "sched/mat.hpp"
+#include "sched/pds.hpp"
+#include "sched/sat.hpp"
+#include "sched/seq.hpp"
+
+namespace adets::sched {
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, SchedulerConfig config) {
+  switch (kind) {
+    case SchedulerKind::kSeq: return std::make_unique<SeqScheduler>(config);
+    case SchedulerKind::kSl: return std::make_unique<SlScheduler>(config);
+    case SchedulerKind::kSat: return std::make_unique<SatScheduler>(config);
+    case SchedulerKind::kMat: return std::make_unique<MatScheduler>(config);
+    case SchedulerKind::kLsa: return std::make_unique<LsaScheduler>(config);
+    case SchedulerKind::kPds: return std::make_unique<PdsScheduler>(config);
+  }
+  return nullptr;
+}
+
+}  // namespace adets::sched

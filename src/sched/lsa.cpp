@@ -1,0 +1,341 @@
+#include "sched/lsa.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace adets::sched {
+
+using common::Bytes;
+using common::CondVarId;
+using common::MutexId;
+using common::ThreadId;
+
+namespace {
+/// Deterministic id for an ADETS-LSA timeout thread: derived from the
+/// waiting thread and its wait generation, identical on every replica.
+ThreadId timeout_thread_id(ThreadId waiter, std::uint64_t generation) {
+  return ThreadId((1ULL << 63) | (waiter.value() << 20) | (generation & 0xFFFFFULL));
+}
+}  // namespace
+
+SchedulerCapabilities LsaScheduler::capabilities() const {
+  SchedulerCapabilities caps;
+  caps.coordination = "Java";          // extended from Basile's locks/monitors
+  caps.deadlock_free = "NI+CB";
+  caps.deployment = "manual";
+  caps.multithreading = "MA";
+  caps.reentrant_locks = true;
+  caps.condition_variables = true;
+  caps.timed_wait = true;
+  caps.true_multithreading = true;
+  caps.needs_communication = true;     // mutex-table broadcasts
+  return caps;
+}
+
+void LsaScheduler::start(SchedulerEnv& env) {
+  SchedulerBase::start(env);
+  const auto members = env.view_members();
+  leader_ = !members.empty() && members.front() == env.self();
+}
+
+bool LsaScheduler::is_leader() const {
+  const std::lock_guard<std::mutex> guard(mon_);
+  return leader_;
+}
+
+void LsaScheduler::on_view_change(const std::vector<common::NodeId>& members) {
+  Lk lk(mon_);
+  const bool now_leader = !members.empty() && members.front() == env_->self();
+  if (now_leader && !leader_) {
+    ADETS_LOG_INFO("lsa") << "node " << env_->self()
+                          << " takes over as LSA leader; honouring "
+                          << expected_.size() << " recorded grant queues first";
+  }
+  leader_ = now_leader;
+  wake_lock_waiters(lk);
+}
+
+// --- event stream -------------------------------------------------------------
+
+void LsaScheduler::handle_request(Lk& lk, Request request) {
+  spawn_thread(lk, std::move(request));  // runs concurrently right away
+}
+
+void LsaScheduler::handle_reply(Lk&, ThreadRecord& t) { wake(t); }
+
+void LsaScheduler::on_scheduler_message(common::NodeId /*sender*/, const Bytes& payload) {
+  if (payload.empty() || payload[0] != 'L') return;
+  Lk lk(mon_);
+  if (stopping()) return;
+  for (const TableEntry& entry : decode_table(payload)) {
+    if (leader_) continue;  // the leader already granted these
+    if (entry.is_new && lsa_to_app_.count(entry.lsa_id) == 0) {
+      // Dynamic mutex registration: bind via the creating thread's
+      // (thread, lock-op) pair, which is replica-independent.
+      const auto key = std::make_pair(entry.thread, entry.op);
+      const auto unknown = unknown_requests_.find(key);
+      if (unknown != unknown_requests_.end()) {
+        bind(MutexId(unknown->second), entry.lsa_id);
+        unknown_requests_.erase(unknown);
+      } else {
+        early_new_entries_[key] = entry.lsa_id;
+      }
+    }
+    expected_[entry.lsa_id].push_back(entry.thread);
+  }
+  wake_lock_waiters(lk);
+}
+
+void LsaScheduler::bind(MutexId mutex, std::uint64_t lsa_id) {
+  app_to_lsa_[mutex.value()] = lsa_id;
+  lsa_to_app_[lsa_id] = mutex.value();
+  // Other threads may be blocked-unknown on the same mutex.
+  for (auto& [id, record] : threads_) {
+    if (record->state == ThreadState::kBlockedLock ||
+        record->state == ThreadState::kBlockedReacquire) {
+      wake(*record);
+    }
+  }
+}
+
+void LsaScheduler::wake_lock_waiters(Lk&) {
+  for (auto& [id, record] : threads_) {
+    if (record->state == ThreadState::kBlockedLock ||
+        record->state == ThreadState::kBlockedReacquire) {
+      wake(*record);
+    }
+  }
+}
+
+// --- locking ---------------------------------------------------------------------
+
+void LsaScheduler::base_lock(Lk& lk, ThreadRecord& t, MutexId mutex) {
+  t.state = ThreadState::kBlockedLock;
+  lock_impl(lk, t, mutex);
+  t.state = ThreadState::kRunning;
+}
+
+void LsaScheduler::lock_impl(Lk& lk, ThreadRecord& t, MutexId mutex) {
+  // Every base-level lock call gets a per-thread operation index; lock
+  // calls happen in program order, so `op` values agree across replicas
+  // and key the dynamic mutex-id binding protocol.
+  const std::uint64_t op = ++lock_ops_[t.id.value()];
+  bool enqueued = false;
+  while (!stopping()) {
+    MutexState& m = mutexes_[mutex.value()];
+    const auto binding = app_to_lsa_.find(mutex.value());
+
+    // Replay phase: recorded grants (follower, or fresh leader after
+    // fail-over) take absolute precedence.
+    if (binding != app_to_lsa_.end()) {
+      auto exp = expected_.find(binding->second);
+      if (exp != expected_.end() && !exp->second.empty()) {
+        if (exp->second.front() == t.id.value() && !m.owner.valid()) {
+          exp->second.pop_front();
+          m.owner = t.id;
+          record_grant(mutex, t.id);
+          return;
+        }
+        block(lk, t);  // re-woken on unlocks / new tables / view changes
+        continue;
+      }
+    }
+
+    if (leader_) {
+      if (!enqueued) {
+        m.rt_waiters.push_back(t.id);
+        enqueued = true;
+      }
+      if (!m.owner.valid() && !m.rt_waiters.empty() && m.rt_waiters.front() == t.id) {
+        m.rt_waiters.pop_front();
+        m.owner = t.id;
+        record_grant(mutex, t.id);
+        append_entry(lk, mutex, t.id, op);
+        return;
+      }
+      block(lk, t);
+      continue;
+    }
+
+    // Follower with no binding yet: wait for the leader's is_new entry
+    // for exactly this (thread, op) lock operation.
+    if (binding == app_to_lsa_.end()) {
+      const auto key = std::make_pair(t.id.value(), op);
+      const auto early = early_new_entries_.find(key);
+      if (early != early_new_entries_.end()) {
+        const std::uint64_t lsa_id = early->second;
+        early_new_entries_.erase(early);
+        bind(mutex, lsa_id);
+        continue;
+      }
+      unknown_requests_[key] = mutex.value();
+      block(lk, t);
+      unknown_requests_.erase(key);
+      continue;
+    }
+    // Bound but no recorded grants yet: wait for the next table.
+    block(lk, t);
+  }
+}
+
+void LsaScheduler::base_unlock(Lk& lk, ThreadRecord&, MutexId mutex) {
+  unlock_impl(lk, mutex);
+}
+
+void LsaScheduler::unlock_impl(Lk& lk, MutexId mutex) {
+  mutexes_[mutex.value()].owner = ThreadId::invalid();
+  wake_lock_waiters(lk);
+}
+
+void LsaScheduler::append_entry(Lk& lk, MutexId mutex, ThreadId thread,
+                                std::uint64_t op) {
+  auto binding = app_to_lsa_.find(mutex.value());
+  bool is_new = false;
+  std::uint64_t lsa_id;
+  if (binding == app_to_lsa_.end()) {
+    lsa_id = next_lsa_id_++;
+    bind(mutex, lsa_id);
+    is_new = true;
+  } else {
+    lsa_id = binding->second;
+  }
+  outgoing_.push_back(TableEntry{lsa_id, thread.value(), is_new, op});
+  if (outgoing_.size() >= config_.lsa_batch_grants ||
+      config_.lsa_batch_delay.count() == 0) {
+    flush_outgoing(lk);
+  } else if (outgoing_.size() == 1) {
+    timer_->schedule(config_.lsa_batch_delay, [this] {
+      Lk lk2(mon_);
+      if (!stopping()) flush_outgoing(lk2);
+    });
+  }
+}
+
+void LsaScheduler::flush_outgoing(Lk&) {
+  if (outgoing_.empty()) return;
+  stats_.broadcasts++;
+  env_->broadcast(encode_table(outgoing_));
+  outgoing_.clear();
+}
+
+// --- condition variables ------------------------------------------------------------
+
+WaitResult LsaScheduler::base_wait(Lk& lk, ThreadRecord& t, MutexId mutex,
+                                   CondVarId condvar, std::uint64_t generation,
+                                   common::Duration) {
+  cond_queues_[condvar.value()].push_back(Waiter{t.id, generation});
+  unlock_impl(lk, mutex);
+  t.wait_satisfied = false;
+  t.timed_out = false;
+  t.state = ThreadState::kBlockedWait;
+  while (!t.wait_satisfied && !stopping()) block(lk, t);
+  // Reacquire the guarding mutex through the normal LSA machinery: the
+  // leader records the reacquisition, followers replay it.
+  t.state = ThreadState::kBlockedReacquire;
+  lock_impl(lk, t, mutex);
+  t.state = ThreadState::kRunning;
+  return WaitResult{!t.timed_out};
+}
+
+void LsaScheduler::base_notify(Lk& lk, ThreadRecord&, MutexId, CondVarId condvar,
+                               bool all) {
+  auto& queue = cond_queues_[condvar.value()];
+  do {
+    if (queue.empty()) return;
+    const Waiter waiter = queue.front();
+    queue.pop_front();
+    ThreadRecord* record = find_thread(lk, waiter.thread);
+    if (record != nullptr && record->state == ThreadState::kBlockedWait) {
+      record->wait_satisfied = true;
+      record->timed_out = false;
+      wake(*record);
+    }
+  } while (all);
+}
+
+bool LsaScheduler::base_resume_timed_out(Lk& lk, ThreadRecord&, MutexId,
+                                         CondVarId condvar, ThreadId target,
+                                         std::uint64_t generation) {
+  auto& queue = cond_queues_[condvar.value()];
+  for (auto it = queue.begin(); it != queue.end(); ++it) {
+    if (it->thread == target && it->generation == generation) {
+      queue.erase(it);
+      ThreadRecord* record = find_thread(lk, target);
+      if (record == nullptr || record->state != ThreadState::kBlockedWait) return false;
+      record->wait_satisfied = true;
+      record->timed_out = true;
+      wake(*record);
+      return true;
+    }
+  }
+  return false;  // "no effect" branch of paper Fig. 1
+}
+
+void LsaScheduler::on_wait_timer_expired(ThreadId thread, MutexId mutex,
+                                         CondVarId condvar, std::uint64_t generation) {
+  // Paper Fig. 1: spawn a TO-thread subject to ADETS-LSA scheduling.  It
+  // locks the guarding mutex (recorded/replayed) and tries to resume the
+  // waiter; if a notify won the race the resume has no effect.
+  Lk lk(mon_);
+  if (stopping()) return;
+  Request request;
+  request.kind = RequestKind::kTimeout;
+  const ThreadId derived = timeout_thread_id(thread, generation);
+  request.id = common::RequestId(derived.value());
+  request.logical = common::LogicalThreadId(derived.value());
+  request.timeout = TimeoutInfo{thread, mutex, condvar, generation};
+  spawn_thread(lk, std::move(request), derived, /*internal=*/true);
+}
+
+// --- nested invocations ----------------------------------------------------------------
+
+void LsaScheduler::base_before_nested(Lk&, ThreadRecord& t) {
+  t.state = ThreadState::kBlockedNested;
+}
+
+void LsaScheduler::base_after_nested(Lk& lk, ThreadRecord& t) {
+  while (!t.reply_arrived && !stopping()) block(lk, t);
+  t.state = ThreadState::kRunning;
+}
+
+void LsaScheduler::on_thread_start(Lk&, ThreadRecord&) {}
+void LsaScheduler::on_thread_done(Lk&, ThreadRecord&) {}
+
+// --- wire format ------------------------------------------------------------------------
+
+Bytes LsaScheduler::encode_table(const std::vector<TableEntry>& entries) {
+  common::Writer w;
+  w.u8('L');
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const TableEntry& e : entries) {
+    w.u64(e.lsa_id);
+    w.u64(e.thread);
+    w.boolean(e.is_new);
+    w.u64(e.op);
+  }
+  return w.take();
+}
+
+std::vector<LsaScheduler::TableEntry> LsaScheduler::decode_table(const Bytes& payload) {
+  std::vector<TableEntry> entries;
+  try {
+    common::Reader r(payload);
+    if (r.u8() != 'L') return entries;
+    const auto count = r.u32();
+    entries.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      TableEntry e;
+      e.lsa_id = r.u64();
+      e.thread = r.u64();
+      e.is_new = r.boolean();
+      e.op = r.u64();
+      entries.push_back(e);
+    }
+  } catch (const common::SerializationError&) {
+    entries.clear();
+  }
+  return entries;
+}
+
+}  // namespace adets::sched

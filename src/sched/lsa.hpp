@@ -1,0 +1,129 @@
+// ADETS-LSA: loose synchronisation algorithm (Basile et al., SRDS'02)
+// with the paper's Sec. 4.1 extensions.
+//
+// The leader (lowest node id of the current view) executes threads with
+// true concurrency and lets real-time races decide lock acquisition
+// order; every grant is recorded as a (mutex, thread) pair and broadcast
+// through the group's total order ("mutex table").  Followers suspend a
+// thread that requests a lock until the table says it is that thread's
+// turn, replaying the leader's order exactly.
+//
+// Extensions implemented here:
+//  - Reentrant locks and condition variables (wait queues are FIFO and
+//    all condvar operations happen under the guarding mutex, so the
+//    basic grant order makes them deterministic).
+//  - Time-bounded waits via the timeout-thread construct of paper
+//    Fig. 1: the local timer spawns a TO-thread (with a deterministic
+//    derived id) that locks the guarding mutex through the scheduler and
+//    resumes the waiter iff its wait generation is still pending.  On
+//    the leader the TO-thread races the notifier; the outcome is
+//    recorded and replayed by followers.
+//  - Dynamic mutex ids (paper Sec. 4.1): followers learn the binding
+//    between a leader-assigned table id and a local mutex from the
+//    first-grant entry.  The paper identifies the operation "by the
+//    thread ID"; that alone is ambiguous when the thread blocks on a
+//    mutex that is locally unknown but already registered at the leader,
+//    so the entry additionally carries the thread's lock-operation index
+//    — a replica-independent value, since lock calls follow program
+//    order.
+//  - Leader fail-over: when the view changes, the new leader first
+//    honours all grants recorded by the old leader (identical on all
+//    survivors thanks to totally-ordered table broadcasts), then starts
+//    recording its own.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/base.hpp"
+
+namespace adets::sched {
+
+class LsaScheduler : public SchedulerBase {
+ public:
+  explicit LsaScheduler(SchedulerConfig config) : SchedulerBase(config) {}
+
+  [[nodiscard]] SchedulerKind kind() const override { return SchedulerKind::kLsa; }
+  [[nodiscard]] SchedulerCapabilities capabilities() const override;
+
+  void start(SchedulerEnv& env) override;
+  void on_scheduler_message(common::NodeId sender, const common::Bytes& payload) override;
+  void on_view_change(const std::vector<common::NodeId>& members) override;
+
+  /// True while this replica records (rather than replays) grants.
+  [[nodiscard]] bool is_leader() const;
+
+ protected:
+  void handle_request(Lk& lk, Request request) override;
+  void handle_reply(Lk& lk, ThreadRecord& t) override;
+  void base_lock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override;
+  void base_unlock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override;
+  WaitResult base_wait(Lk& lk, ThreadRecord& t, common::MutexId mutex,
+                       common::CondVarId condvar, std::uint64_t generation,
+                       common::Duration timeout) override;
+  void base_notify(Lk& lk, ThreadRecord& t, common::MutexId mutex,
+                   common::CondVarId condvar, bool all) override;
+  bool base_resume_timed_out(Lk& lk, ThreadRecord& handler, common::MutexId mutex,
+                             common::CondVarId condvar, common::ThreadId target,
+                             std::uint64_t generation) override;
+  void base_before_nested(Lk& lk, ThreadRecord& t) override;
+  void base_after_nested(Lk& lk, ThreadRecord& t) override;
+  void on_thread_start(Lk& lk, ThreadRecord& t) override;
+  void on_thread_done(Lk& lk, ThreadRecord& t) override;
+  void on_wait_timer_expired(common::ThreadId thread, common::MutexId mutex,
+                             common::CondVarId condvar, std::uint64_t generation) override;
+
+ private:
+  struct TableEntry {
+    std::uint64_t lsa_id = 0;
+    std::uint64_t thread = 0;
+    bool is_new = false;
+    /// For is_new entries: the grantee thread's lock-operation index
+    /// (its op-th base-level lock call).  Lock operations happen in
+    /// program order, so (thread, op) identifies the same local mutex on
+    /// every replica — a thread id alone is ambiguous when the thread is
+    /// blocked on a mutex that is new locally but not to the leader.
+    std::uint64_t op = 0;
+  };
+  struct MutexState {
+    common::ThreadId owner = common::ThreadId::invalid();
+    std::deque<common::ThreadId> rt_waiters;  // leader: real-time arrival order
+  };
+  struct Waiter {
+    common::ThreadId thread;
+    std::uint64_t generation;
+  };
+
+  /// The full lock algorithm (leader record / follower replay).
+  void lock_impl(Lk& lk, ThreadRecord& t, common::MutexId mutex);
+  void unlock_impl(Lk& lk, common::MutexId mutex);
+  void append_entry(Lk& lk, common::MutexId mutex, common::ThreadId thread,
+                    std::uint64_t op);
+  void flush_outgoing(Lk& lk);
+  void bind(common::MutexId mutex, std::uint64_t lsa_id);
+  void wake_lock_waiters(Lk& lk);
+
+  static common::Bytes encode_table(const std::vector<TableEntry>& entries);
+  static std::vector<TableEntry> decode_table(const common::Bytes& payload);
+
+  bool leader_ = false;
+  std::uint64_t next_lsa_id_ = 1;
+  std::unordered_map<std::uint64_t, std::uint64_t> app_to_lsa_;
+  std::unordered_map<std::uint64_t, std::uint64_t> lsa_to_app_;
+  std::unordered_map<std::uint64_t, MutexState> mutexes_;
+  /// Follower replay plan: recorded grantees per lsa id, FIFO.
+  std::unordered_map<std::uint64_t, std::deque<std::uint64_t>> expected_;
+  /// Per-thread count of base-level lock operations (identical on every
+  /// replica; keys the dynamic-binding protocol).
+  std::unordered_map<std::uint64_t, std::uint64_t> lock_ops_;
+  /// Follower: (thread, op) -> app mutex requested but not yet bound.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> unknown_requests_;
+  /// Follower: is_new entries that arrived before the thread's op.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> early_new_entries_;
+  std::unordered_map<std::uint64_t, std::deque<Waiter>> cond_queues_;
+  std::vector<TableEntry> outgoing_;
+};
+
+}  // namespace adets::sched

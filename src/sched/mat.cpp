@@ -1,0 +1,272 @@
+#include "sched/mat.hpp"
+
+#include <algorithm>
+
+namespace adets::sched {
+
+using common::CondVarId;
+using common::MutexId;
+using common::ThreadId;
+
+SchedulerCapabilities MatScheduler::capabilities() const {
+  SchedulerCapabilities caps;
+  caps.coordination = "Java";
+  caps.deadlock_free = "NI+CB";
+  caps.deployment = "transformation";
+  caps.multithreading = "MA";
+  caps.reentrant_locks = true;
+  caps.condition_variables = true;
+  caps.timed_wait = true;
+  caps.true_multithreading = true;
+  caps.needs_communication = false;
+  return caps;
+}
+
+// --- token management -----------------------------------------------------------
+
+void MatScheduler::try_assign_token(Lk& lk) {
+  if (primary_.valid()) return;
+  while (!tickets_.empty()) {
+    ThreadTicket ticket;
+    if (const auto* reply = std::get_if<common::RequestId>(&tickets_.front())) {
+      // Placeholder: resolve to the thread that claimed this reply.  If
+      // nobody claimed it yet, the token waits here — the claiming
+      // thread is still running unsynchronised code before its nested
+      // call, so it will arrive; consuming later slots first would make
+      // the token order depend on local timing.
+      const auto claimed = claimed_replies_.find(reply->value());
+      if (claimed == claimed_replies_.end()) return;
+      ticket = claimed->second;
+      claimed_replies_.erase(claimed);
+    } else {
+      ticket = std::get<ThreadTicket>(tickets_.front());
+    }
+    tickets_.pop_front();
+    ThreadRecord* record = find_thread(lk, ticket.id);
+    if (record == nullptr || record->state == ThreadState::kDone ||
+        record->ticket_epoch != ticket.epoch ||
+        record->state == ThreadState::kBlockedWait ||
+        record->state == ThreadState::kBlockedNested) {
+      // Stale (the thread advanced to a new eligibility epoch) or the
+      // thread cannot proceed: discard.  A fresh ticket exists or will
+      // arrive at the thread's resume event; granting the token through
+      // an old slot would reorder acquisitions across replicas, and
+      // parking it on a blocked thread could deadlock.
+      continue;
+    }
+    primary_ = ticket.id;
+    stats_.activations++;
+    if (record->state == ThreadState::kBlockedAdmission) wake(*record);
+    return;
+  }
+}
+
+void MatScheduler::transfer_token(Lk& lk, ThreadRecord& t) {
+  if (primary_ == t.id) primary_ = ThreadId::invalid();
+  try_assign_token(lk);
+}
+
+void MatScheduler::yield() {
+  ThreadRecord& t = current();
+  Lk lk(mon_);
+  if (primary_ != t.id) return;
+  tickets_.push_back(ThreadTicket{t.id, t.ticket_epoch});
+  primary_ = ThreadId::invalid();
+  try_assign_token(lk);
+  // The yielding thread keeps running as a secondary; it re-waits for
+  // the token at its next lock request.
+}
+
+// --- event stream ------------------------------------------------------------------
+
+void MatScheduler::handle_request(Lk& lk, Request request) {
+  ThreadRecord& t = spawn_thread(lk, std::move(request));
+  tickets_.push_back(ThreadTicket{t.id, t.ticket_epoch});  // creation ticket
+  try_assign_token(lk);
+}
+
+void MatScheduler::on_reply(common::RequestId nested_id) {
+  Lk lk(mon_);
+  if (stopping()) return;
+  for (auto& [id, record] : threads_) {
+    if (record->pending_nested == nested_id && !record->reply_arrived) {
+      record->reply_arrived = true;
+      record->state = ThreadState::kRunning;  // resumed as a secondary
+      record->ticket_epoch++;                 // old tickets become stale
+      tickets_.push_back(ThreadTicket{record->id, record->ticket_epoch});
+      try_assign_token(lk);
+      wake(*record);
+      return;
+    }
+  }
+  // The local thread has not issued its nested call yet: stash the
+  // reply and hold the token slot with a placeholder ticket.
+  early_replies_.insert(nested_id.value());
+  tickets_.push_back(nested_id);
+  try_assign_token(lk);
+}
+
+void MatScheduler::handle_reply(Lk& lk, ThreadRecord& t) {
+  // Reached from before_nested_call when the reply was early: claim the
+  // placeholder that already sits at the reply's queue position.
+  t.state = ThreadState::kRunning;
+  t.ticket_epoch++;  // old tickets become stale
+  claimed_replies_[t.pending_nested.value()] = ThreadTicket{t.id, t.ticket_epoch};
+  try_assign_token(lk);
+  wake(t);
+}
+
+void MatScheduler::on_thread_start(Lk&, ThreadRecord&) {
+  // Secondaries start running right away: true multithreading.
+}
+
+void MatScheduler::on_thread_done(Lk& lk, ThreadRecord& t) {
+  transfer_token(lk, t);
+}
+
+// --- locks -----------------------------------------------------------------------------
+
+void MatScheduler::base_lock(Lk& lk, ThreadRecord& t, MutexId mutex) {
+  // Only the token holder may request a lock.
+  while (primary_ != t.id && !stopping()) {
+    t.state = ThreadState::kBlockedAdmission;
+    block(lk, t);
+  }
+  t.state = ThreadState::kRunning;
+  if (stopping()) return;
+  MutexState& m = mutexes_[mutex.value()];
+  if (!m.owner.valid() && m.reacquirers.empty()) {
+    m.owner = t.id;
+    record_grant(mutex, t.id);
+    return;  // acquire and keep the token
+  }
+  // Busy: wait *keeping the token* (hence at most one plain waiter);
+  // resumed waiters are granted with priority at each unlock.
+  m.token_waiter = t.id;
+  t.state = ThreadState::kBlockedLock;
+  while (mutexes_[mutex.value()].owner != t.id && !stopping()) block(lk, t);
+  t.state = ThreadState::kRunning;
+}
+
+void MatScheduler::base_unlock(Lk& lk, ThreadRecord&, MutexId mutex) {
+  mutexes_[mutex.value()].owner = ThreadId::invalid();
+  hand_over(lk, mutex);
+}
+
+void MatScheduler::hand_over(Lk& lk, MutexId mutex) {
+  MutexState& m = mutexes_[mutex.value()];
+  while (!m.owner.valid()) {
+    // Priority 1: waiters resumed by notify(), in notification order.
+    if (!m.reacquirers.empty()) {
+      const ThreadId next = m.reacquirers.front();
+      m.reacquirers.pop_front();
+      ThreadRecord* record = find_thread(lk, next);
+      if (record == nullptr || record->state == ThreadState::kDone) continue;
+      m.owner = next;
+      record_grant(mutex, next);
+      wake(*record);  // resumes as a secondary
+      return;
+    }
+    // Priority 2: the unique token-holding plain waiter.
+    if (m.token_waiter.valid()) {
+      const ThreadId next = m.token_waiter;
+      m.token_waiter = ThreadId::invalid();
+      ThreadRecord* record = find_thread(lk, next);
+      if (record == nullptr || record->state == ThreadState::kDone) continue;
+      m.owner = next;
+      record_grant(mutex, next);
+      wake(*record);  // still holds the token
+      return;
+    }
+    return;
+  }
+}
+
+// --- condition variables -----------------------------------------------------------------
+
+WaitResult MatScheduler::base_wait(Lk& lk, ThreadRecord& t, MutexId mutex,
+                                   CondVarId condvar, std::uint64_t generation,
+                                   common::Duration) {
+  cond_queues_[condvar.value()].push_back(Waiter{t.id, generation});
+  mutexes_[mutex.value()].owner = ThreadId::invalid();
+  hand_over(lk, mutex);
+  t.timed_out = false;
+  t.state = ThreadState::kBlockedWait;
+  transfer_token(lk, t);
+  while (mutexes_[mutex.value()].owner != t.id && !stopping()) block(lk, t);
+  t.state = ThreadState::kRunning;
+  return WaitResult{!t.timed_out};
+}
+
+void MatScheduler::resume_waiter(Lk& lk, ThreadRecord& t, MutexId mutex,
+                                 bool timed_out) {
+  t.timed_out = timed_out;
+  t.state = ThreadState::kBlockedReacquire;
+  mutexes_[mutex.value()].reacquirers.push_back(t.id);
+  t.ticket_epoch++;  // old tickets become stale
+  tickets_.push_back(ThreadTicket{t.id, t.ticket_epoch});
+  try_assign_token(lk);
+  hand_over(lk, mutex);  // no-op while the notifier holds the mutex
+}
+
+void MatScheduler::base_notify(Lk& lk, ThreadRecord&, MutexId mutex,
+                               CondVarId condvar, bool all) {
+  auto& queue = cond_queues_[condvar.value()];
+  do {
+    if (queue.empty()) return;
+    const Waiter waiter = queue.front();
+    queue.pop_front();
+    ThreadRecord* record = find_thread(lk, waiter.thread);
+    if (record != nullptr && record->state == ThreadState::kBlockedWait) {
+      resume_waiter(lk, *record, mutex, /*timed_out=*/false);
+    }
+  } while (all);
+}
+
+bool MatScheduler::base_resume_timed_out(Lk& lk, ThreadRecord&, MutexId mutex,
+                                         CondVarId condvar, ThreadId target,
+                                         std::uint64_t generation) {
+  auto& queue = cond_queues_[condvar.value()];
+  for (auto it = queue.begin(); it != queue.end(); ++it) {
+    if (it->thread == target && it->generation == generation) {
+      queue.erase(it);
+      ThreadRecord* record = find_thread(lk, target);
+      if (record == nullptr || record->state != ThreadState::kBlockedWait) return false;
+      resume_waiter(lk, *record, mutex, /*timed_out=*/true);
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- nested invocations ---------------------------------------------------------------------
+
+void MatScheduler::base_before_nested(Lk& lk, ThreadRecord& t) {
+  t.state = ThreadState::kBlockedNested;
+  transfer_token(lk, t);
+}
+
+void MatScheduler::base_after_nested(Lk& lk, ThreadRecord& t) {
+  while (!t.reply_arrived && !stopping()) block(lk, t);
+  t.state = ThreadState::kRunning;
+}
+
+void MatScheduler::debug_extra(std::string& out) const {
+  out += " primary=" +
+         (primary_.valid() ? std::to_string(primary_.value()) : std::string("-"));
+  out += " tickets=[";
+  for (const auto& ticket : tickets_) {
+    if (const auto* t = std::get_if<ThreadTicket>(&ticket)) {
+      out += std::to_string(t->id.value()) + "@" + std::to_string(t->epoch) + ",";
+    } else {
+      out += "reply:" + std::to_string(std::get<common::RequestId>(ticket).value()) + ",";
+    }
+  }
+  out += "] mutexes:";
+  for (const auto& [m, st] : mutexes_) {
+    out += " m" + std::to_string(m) + "->" +
+           (st.owner.valid() ? std::to_string(st.owner.value()) : "free");
+  }
+}
+
+}  // namespace adets::sched

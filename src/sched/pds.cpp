@@ -1,0 +1,390 @@
+#include "sched/pds.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace adets::sched {
+
+using common::CondVarId;
+using common::MutexId;
+using common::ThreadId;
+
+SchedulerCapabilities PdsScheduler::capabilities() const {
+  SchedulerCapabilities caps;
+  caps.coordination = "Java";        // extended from Basile's plain locks
+  caps.deadlock_free = "NI";         // nested invocations block the round but
+                                     // cannot cycle; callbacks are not special-cased
+  caps.deployment = "manual";
+  caps.multithreading = "MA (restr.)";
+  caps.reentrant_locks = true;
+  caps.condition_variables = true;
+  caps.timed_wait = true;
+  caps.true_multithreading = true;
+  caps.needs_communication = false;
+  return caps;
+}
+
+void PdsScheduler::start(SchedulerEnv& env) {
+  SchedulerBase::start(env);
+  Lk lk(mon_);
+  initial_pool_ = std::max<std::size_t>(1, config_.pds_thread_pool);
+  for (std::size_t i = 0; i < initial_pool_; ++i) {
+    spawn_worker(lk, /*pre_suspended=*/false);
+  }
+}
+
+std::uint64_t PdsScheduler::rounds() const {
+  const std::lock_guard<std::mutex> guard(mon_);
+  return round_;
+}
+
+std::size_t PdsScheduler::pool_size() const {
+  const std::lock_guard<std::mutex> guard(mon_);
+  std::size_t alive = 0;
+  for (const auto& [id, record] : threads_) {
+    if (record->state != ThreadState::kDone) alive++;
+  }
+  return alive;
+}
+
+void PdsScheduler::spawn_worker(Lk& lk, bool pre_suspended) {
+  Request request;
+  request.kind = RequestKind::kApplication;  // placeholder until first fetch
+  request.id = common::RequestId::invalid();
+  request.logical = common::LogicalThreadId::invalid();
+  ThreadRecord& t = spawn_thread(lk, std::move(request), std::nullopt, /*internal=*/true);
+  if (pre_suspended) {
+    // Join the *current* round-start grant computation deterministically:
+    // the worker is born already suspended on the queue mutex.
+    t.state = ThreadState::kBlockedLock;
+    t.wanted_mutex = MutexId(kQueueMutexId);
+    t.pds_request_round = round_ == 0 ? 0 : round_ - 1;
+  }
+}
+
+void PdsScheduler::wake_everyone(Lk&) {
+  for (auto& [id, record] : threads_) wake(*record);
+}
+
+// --- worker loop -------------------------------------------------------------------
+
+void PdsScheduler::thread_body(ThreadRecord& t) {
+  while (true) {
+    Request work;
+    {
+      Lk lk(mon_);
+      if (stopping() || t.pds_terminate) {
+        t.state = ThreadState::kDone;
+        maybe_start_round(lk);
+        return;
+      }
+      auto fetched = fetch(lk, t);
+      if (!fetched || fetched->kind == RequestKind::kPoison || stopping()) {
+        t.state = ThreadState::kDone;
+        maybe_start_round(lk);
+        return;
+      }
+      work = std::move(*fetched);
+      t.request = work;
+      t.logical = work.logical;
+      t.state = ThreadState::kRunning;
+    }
+    run_request_body(t, work);
+  }
+}
+
+std::optional<Request> PdsScheduler::fetch(Lk& lk, ThreadRecord& t) {
+  if (config_.pds_round_robin_assignment) {
+    // Worker i executes requests i, i+N, i+2N, ...
+    const std::uint64_t pool = initial_pool_;
+    t.state = ThreadState::kRunning;
+    while (!stopping() && !t.pds_terminate) {
+      if (!request_queue_.empty() && next_fetch_index_ % pool == t.id.value()) {
+        Request request = std::move(request_queue_.front());
+        request_queue_.pop_front();
+        next_fetch_index_++;
+        wake_everyone(lk);
+        return request;
+      }
+      block(lk, t);
+    }
+    return std::nullopt;
+  }
+
+  // Synchronized assignment: the queue mutex is granted by the normal
+  // round machinery, so the i-th request goes to the same worker on
+  // every replica.
+  const MutexId queue_mutex(kQueueMutexId);
+  if (mutexes_[kQueueMutexId].owner != t.id) {
+    if (t.wanted_mutex == queue_mutex) {
+      // Pre-suspended at spawn: the request is already registered with
+      // the round machinery; just await the grant.
+      while (mutexes_[kQueueMutexId].owner != t.id && !stopping() &&
+             !t.pds_terminate) {
+        block(lk, t);
+      }
+    } else {
+      pds_lock(lk, t, queue_mutex);
+    }
+  }
+  if (stopping() || t.pds_terminate) {
+    if (mutexes_[kQueueMutexId].owner == t.id) pds_unlock(lk, queue_mutex);
+    return std::nullopt;
+  }
+  // Holding the queue mutex while the queue is empty keeps this worker
+  // "running": the round cannot advance without requests (paper Sec. 3.2:
+  // "the system cannot start a new round").  The paper's remedy is to
+  // "deterministically create artificial requests": after an idle spell
+  // we broadcast a no-op through the total order, which this holder pops
+  // and discards; re-fetching then suspends it like everyone else and
+  // the round can start.
+  while (request_queue_.empty() && !stopping() && !t.pds_terminate) {
+    t.state = ThreadState::kRunning;
+    block_for(lk, t, config_.pds_idle_fill_interval);
+    if (request_queue_.empty() && !stopping() && !t.pds_terminate) {
+      stats_.broadcasts++;
+      lk.unlock();
+      env_->broadcast(common::Bytes{'P'});
+      lk.lock();
+    }
+  }
+  if (stopping() || t.pds_terminate) {
+    pds_unlock(lk, queue_mutex);
+    return std::nullopt;
+  }
+  Request request = std::move(request_queue_.front());
+  request_queue_.pop_front();
+  next_fetch_index_++;
+  pds_unlock(lk, queue_mutex);
+  return request;
+}
+
+// --- event stream ------------------------------------------------------------------
+
+void PdsScheduler::on_scheduler_message(common::NodeId sender,
+                                        const common::Bytes& payload) {
+  if (payload.size() == 1 && payload[0] == 'P') {
+    // Artificial request: enters the (totally ordered) request queue so
+    // every replica assigns it to the same worker.
+    Request request;
+    request.kind = RequestKind::kNoop;
+    const std::uint64_t internal = (1ULL << 62) | next_internal_request_++;
+    request.id = common::RequestId(internal);
+    request.logical = common::LogicalThreadId(internal);
+    on_request(std::move(request));
+    return;
+  }
+  SchedulerBase::on_scheduler_message(sender, payload);
+}
+
+void PdsScheduler::handle_request(Lk& lk, Request request) {
+  request_queue_.push_back(std::move(request));
+  wake_everyone(lk);  // a fetch-idle queue-mutex holder may be waiting
+}
+
+void PdsScheduler::handle_reply(Lk&, ThreadRecord& t) { wake(t); }
+
+void PdsScheduler::on_thread_start(Lk&, ThreadRecord&) {}
+void PdsScheduler::on_thread_done(Lk&, ThreadRecord&) {}
+
+// --- rounds and locking ----------------------------------------------------------------
+
+void PdsScheduler::base_lock(Lk& lk, ThreadRecord& t, MutexId mutex) {
+  pds_lock(lk, t, mutex);
+}
+
+void PdsScheduler::pds_lock(Lk& lk, ThreadRecord& t, MutexId mutex) {
+  // PDS-2 fast path: one extra in-round acquisition when permitted.
+  if (config_.pds_variant == 2 && t.pds_phase == 1 && t.pds_granted_round == round_) {
+    MutexState& m = mutexes_[mutex.value()];
+    if (!m.owner.valid() && lower_ids_have_phase1(lk, t)) {
+      m.owner = t.id;
+      record_grant(mutex, t.id);
+      t.pds_phase = 2;
+      return;
+    }
+  }
+  // Suspend; the grant comes at a round boundary or an in-round unlock.
+  t.wanted_mutex = mutex;
+  t.pds_request_round = round_;
+  t.state = ThreadState::kBlockedLock;
+  maybe_start_round(lk);
+  while (mutexes_[mutex.value()].owner != t.id && !stopping() && !t.pds_terminate) {
+    block(lk, t);
+  }
+  t.state = ThreadState::kRunning;
+}
+
+bool PdsScheduler::lower_ids_have_phase1(Lk&, const ThreadRecord& t) const {
+  for (const auto& [id, record] : threads_) {
+    if (id >= t.id.value()) break;
+    if (record->state == ThreadState::kDone ||
+        record->state == ThreadState::kBlockedWait) {
+      continue;
+    }
+    if (!(record->pds_granted_round == round_ && record->pds_phase >= 1)) return false;
+  }
+  return true;
+}
+
+void PdsScheduler::grant(Lk&, ThreadRecord& t, MutexId mutex) {
+  mutexes_[mutex.value()].owner = t.id;
+  record_grant(mutex, t.id);
+  t.wanted_mutex = MutexId::invalid();
+  t.pds_phase = 1;
+  t.pds_granted_round = round_;
+  if (t.state == ThreadState::kBlockedLock) t.state = ThreadState::kRunning;
+  wake(t);
+}
+
+void PdsScheduler::base_unlock(Lk& lk, ThreadRecord&, MutexId mutex) {
+  pds_unlock(lk, mutex);
+}
+
+void PdsScheduler::pds_unlock(Lk& lk, MutexId mutex) {
+  mutexes_[mutex.value()].owner = ThreadId::invalid();
+  // In-round hand-over: the next *same-round* requester (lowest id) may
+  // execute concurrently with the unlocker (paper Sec. 3.2).
+  ThreadRecord* next = nullptr;
+  for (auto& [id, record] : threads_) {
+    if (record->state == ThreadState::kBlockedLock &&
+        record->wanted_mutex == mutex && record->pds_request_round < round_) {
+      next = record.get();
+      break;  // threads_ is ordered by id
+    }
+  }
+  if (next != nullptr) grant(lk, *next, mutex);
+}
+
+void PdsScheduler::maybe_start_round(Lk& lk) {
+  if (threads_.empty() || stopping()) return;
+  bool any_lock_suspended = false;
+  std::size_t non_waiting_alive = 0;
+  for (const auto& [id, record] : threads_) {
+    switch (record->state) {
+      case ThreadState::kBlockedLock:
+        any_lock_suspended = true;
+        non_waiting_alive++;
+        break;
+      case ThreadState::kBlockedWait:
+      case ThreadState::kDone:
+        break;
+      default:
+        return;  // someone is still running / in a nested call
+    }
+  }
+  // ADETS-PDS pool resizing (paper Sec. 4.2): avoid the all-waiting
+  // deadlock by adding workers, retire surplus fetch-idle ones.
+  if (non_waiting_alive < config_.pds_min_nonwaiting) {
+    const std::size_t missing = config_.pds_min_nonwaiting - non_waiting_alive;
+    for (std::size_t i = 0; i < missing; ++i) spawn_worker(lk, /*pre_suspended=*/true);
+    any_lock_suspended = true;
+    ADETS_LOG_DEBUG("pds") << "pool grown by " << missing << " at round " << round_;
+  } else {
+    const std::size_t target =
+        std::max(initial_pool_, config_.pds_min_nonwaiting);
+    if (non_waiting_alive > target) {
+      // Retire the youngest surplus workers that are idle at the queue
+      // mutex (a deterministic, state-based choice).
+      std::size_t surplus = non_waiting_alive - target;
+      for (auto it = threads_.rbegin(); it != threads_.rend() && surplus > 0; ++it) {
+        ThreadRecord& record = *it->second;
+        if (record.state == ThreadState::kBlockedLock &&
+            record.wanted_mutex == MutexId(kQueueMutexId) &&
+            it->first >= initial_pool_) {
+          record.pds_terminate = true;
+          record.wanted_mutex = MutexId::invalid();
+          wake(record);
+          surplus--;
+        }
+      }
+    }
+  }
+  if (!any_lock_suspended) return;
+  round_++;
+  stats_.rounds = round_;
+  // Grant phase: all pending requests are known; assign mutexes in
+  // increasing thread-id order.
+  for (auto& [id, record] : threads_) {
+    if (record->state != ThreadState::kBlockedLock) continue;
+    if (record->pds_request_round >= round_) continue;
+    if (!record->wanted_mutex.valid()) continue;
+    if (!mutexes_[record->wanted_mutex.value()].owner.valid()) {
+      grant(lk, *record, record->wanted_mutex);
+    }
+  }
+}
+
+// --- condition variables -----------------------------------------------------------------
+
+WaitResult PdsScheduler::base_wait(Lk& lk, ThreadRecord& t, MutexId mutex,
+                                   CondVarId condvar, std::uint64_t generation,
+                                   common::Duration) {
+  cond_queues_[condvar.value()].push_back(Waiter{t.id, generation});
+  pds_unlock(lk, mutex);
+  t.timed_out = false;
+  t.state = ThreadState::kBlockedWait;
+  maybe_start_round(lk);
+  // Resumption: a notify/timeout converts us into a mutex request; we
+  // proceed once the round machinery grants the guarding mutex.
+  while (mutexes_[mutex.value()].owner != t.id && !stopping()) block(lk, t);
+  t.state = ThreadState::kRunning;
+  return WaitResult{!t.timed_out};
+}
+
+void PdsScheduler::waiter_to_lock_request(Lk& lk, ThreadRecord& t, MutexId mutex,
+                                          bool timed_out) {
+  t.timed_out = timed_out;
+  // Paper Fig. 2: the resumed thread must first reacquire the lock,
+  // which makes it wait until the start of the next round.
+  t.wanted_mutex = mutex;
+  t.pds_request_round = round_;
+  t.state = ThreadState::kBlockedLock;
+  (void)lk;
+}
+
+void PdsScheduler::base_notify(Lk& lk, ThreadRecord&, MutexId mutex,
+                               CondVarId condvar, bool all) {
+  auto& queue = cond_queues_[condvar.value()];
+  do {
+    if (queue.empty()) return;
+    const Waiter waiter = queue.front();
+    queue.pop_front();
+    ThreadRecord* record = find_thread(lk, waiter.thread);
+    if (record != nullptr && record->state == ThreadState::kBlockedWait) {
+      waiter_to_lock_request(lk, *record, mutex, /*timed_out=*/false);
+    }
+  } while (all);
+}
+
+bool PdsScheduler::base_resume_timed_out(Lk& lk, ThreadRecord&, MutexId mutex,
+                                         CondVarId condvar, ThreadId target,
+                                         std::uint64_t generation) {
+  auto& queue = cond_queues_[condvar.value()];
+  for (auto it = queue.begin(); it != queue.end(); ++it) {
+    if (it->thread == target && it->generation == generation) {
+      queue.erase(it);
+      ThreadRecord* record = find_thread(lk, target);
+      if (record == nullptr || record->state != ThreadState::kBlockedWait) return false;
+      waiter_to_lock_request(lk, *record, mutex, /*timed_out=*/true);
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- nested invocations -------------------------------------------------------------------
+
+void PdsScheduler::base_before_nested(Lk&, ThreadRecord& t) {
+  // Evaluated variant (paper Sec. 4.2): the thread counts as running, so
+  // the round stalls until the reply arrives.
+  t.state = ThreadState::kBlockedNested;
+}
+
+void PdsScheduler::base_after_nested(Lk& lk, ThreadRecord& t) {
+  while (!t.reply_arrived && !stopping()) block(lk, t);
+  t.state = ThreadState::kRunning;
+}
+
+}  // namespace adets::sched

@@ -1,0 +1,110 @@
+// ADETS-PDS: preemptive deterministic scheduling (Basile et al., DSN'03)
+// with the paper's Sec. 4.2 extensions.
+//
+// A fixed pool of worker threads executes requests in sequential rounds:
+//  - A worker is suspended whenever it requests a mutex (PDS-1), or on
+//    its second-plus request (PDS-2, which grants one extra in-round
+//    acquisition when the mutex is free and all lower-id threads have
+//    taken their phase-1 mutex).
+//  - Once every worker is suspended (on a mutex, in wait(), or
+//    terminated), a new round starts and pending mutex requests are
+//    granted in increasing thread-id order; an unlock inside the round
+//    hands the mutex to the next same-round requester.
+// No communication is needed: the assignment is a pure function of the
+// replica-independent request set.
+//
+// Extensions (paper Sec. 4.2):
+//  - Request assignment: *synchronized* (workers fetch the next request
+//    under a scheduler-managed queue mutex, so the i-th request goes to
+//    the same worker everywhere — the paper's evaluated strategy) or
+//    *round-robin* (request i -> worker i mod N).
+//  - Nested invocations block the round (the paper's evaluated variant):
+//    a worker waiting for a nested reply counts as running.
+//  - Condition variables: wait() suspends the worker out of the round
+//    set; notify() converts the waiter into a mutex request that is
+//    granted at the next round start (paper Fig. 2).
+//  - Time-bounded waits: timeout broadcast handled as a normal request.
+//  - Automatic thread-pool resizing: if fewer than a threshold of
+//    workers are non-waiting at a round boundary, new workers are added
+//    (pre-suspended on the queue mutex) to avoid the all-waiting
+//    deadlock; surplus fetch-idle workers beyond the initial pool are
+//    retired at round boundaries.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "sched/base.hpp"
+
+namespace adets::sched {
+
+class PdsScheduler : public SchedulerBase {
+ public:
+  explicit PdsScheduler(SchedulerConfig config) : SchedulerBase(config) {}
+
+  [[nodiscard]] SchedulerKind kind() const override { return SchedulerKind::kPds; }
+  [[nodiscard]] SchedulerCapabilities capabilities() const override;
+
+  void start(SchedulerEnv& env) override;
+  void on_scheduler_message(common::NodeId sender, const common::Bytes& payload) override;
+
+  /// Completed scheduling rounds (introspection for tests/benches).
+  [[nodiscard]] std::uint64_t rounds() const;
+  /// Current pool size, waiting workers included (introspection).
+  [[nodiscard]] std::size_t pool_size() const;
+
+ protected:
+  void handle_request(Lk& lk, Request request) override;
+  void handle_reply(Lk& lk, ThreadRecord& t) override;
+  void base_lock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override;
+  void base_unlock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override;
+  WaitResult base_wait(Lk& lk, ThreadRecord& t, common::MutexId mutex,
+                       common::CondVarId condvar, std::uint64_t generation,
+                       common::Duration timeout) override;
+  void base_notify(Lk& lk, ThreadRecord& t, common::MutexId mutex,
+                   common::CondVarId condvar, bool all) override;
+  bool base_resume_timed_out(Lk& lk, ThreadRecord& handler, common::MutexId mutex,
+                             common::CondVarId condvar, common::ThreadId target,
+                             std::uint64_t generation) override;
+  void base_before_nested(Lk& lk, ThreadRecord& t) override;
+  void base_after_nested(Lk& lk, ThreadRecord& t) override;
+  void on_thread_start(Lk& lk, ThreadRecord& t) override;
+  void on_thread_done(Lk& lk, ThreadRecord& t) override;
+  void thread_body(ThreadRecord& t) override;
+
+ private:
+  /// Scheduler-internal mutex protecting the incoming request queue
+  /// (synchronized assignment strategy).
+  static constexpr std::uint64_t kQueueMutexId = (1ULL << 61) + 1;
+
+  struct MutexState {
+    common::ThreadId owner = common::ThreadId::invalid();
+  };
+  struct Waiter {
+    common::ThreadId thread;
+    std::uint64_t generation;
+  };
+
+  void pds_lock(Lk& lk, ThreadRecord& t, common::MutexId mutex);
+  void pds_unlock(Lk& lk, common::MutexId mutex);
+  void grant(Lk& lk, ThreadRecord& t, common::MutexId mutex);
+  /// Starts a new round iff every worker is suspended/waiting/terminated.
+  void maybe_start_round(Lk& lk);
+  bool lower_ids_have_phase1(Lk& lk, const ThreadRecord& t) const;
+  /// Converts a condvar waiter into a next-round mutex request.
+  void waiter_to_lock_request(Lk& lk, ThreadRecord& t, common::MutexId mutex,
+                              bool timed_out);
+  /// Fetches the next work item per the configured assignment strategy.
+  std::optional<Request> fetch(Lk& lk, ThreadRecord& t);
+  void spawn_worker(Lk& lk, bool pre_suspended);
+  void wake_everyone(Lk& lk);
+
+  std::uint64_t round_ = 0;
+  std::deque<Request> request_queue_;
+  std::uint64_t next_fetch_index_ = 0;  // consumed count (round-robin)
+  std::size_t initial_pool_ = 0;
+  std::unordered_map<std::uint64_t, MutexState> mutexes_;
+  std::unordered_map<std::uint64_t, std::deque<Waiter>> cond_queues_;
+};
+
+}  // namespace adets::sched

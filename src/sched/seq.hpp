@@ -1,0 +1,68 @@
+// SEQ: strictly sequential request execution (the baseline of the paper),
+// and SL: the single-logical-thread model of the Eternal system.
+//
+// SEQ starts request R(i+1) only after R(i) has fully completed,
+// including any nested invocation it performs.  Locks are no-ops (there
+// is never concurrency), condition variables are unsupported (paper
+// Sec. 5.5 uses polling instead), and a callback arriving during a
+// nested invocation deadlocks the object — exactly the limitation that
+// motivates the other strategies.
+//
+// SL additionally recognises callbacks: an incoming request whose
+// logical-thread id matches a locally blocked thread belongs to the same
+// logical thread and is executed immediately on an additional physical
+// thread, which makes nested invocation cycles (A -> B -> A) deadlock-free.
+#pragma once
+
+#include <deque>
+
+#include "sched/base.hpp"
+
+namespace adets::sched {
+
+class SeqScheduler : public SchedulerBase {
+ public:
+  explicit SeqScheduler(SchedulerConfig config) : SchedulerBase(config) {}
+
+  [[nodiscard]] SchedulerKind kind() const override { return SchedulerKind::kSeq; }
+  [[nodiscard]] SchedulerCapabilities capabilities() const override;
+
+ protected:
+  void handle_request(Lk& lk, Request request) override;
+  void handle_reply(Lk& lk, ThreadRecord& t) override;
+  void base_lock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override;
+  void base_unlock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override;
+  WaitResult base_wait(Lk& lk, ThreadRecord& t, common::MutexId mutex,
+                       common::CondVarId condvar, std::uint64_t generation,
+                       common::Duration timeout) override;
+  void base_notify(Lk& lk, ThreadRecord& t, common::MutexId mutex,
+                   common::CondVarId condvar, bool all) override;
+  bool base_resume_timed_out(Lk& lk, ThreadRecord& handler, common::MutexId mutex,
+                             common::CondVarId condvar, common::ThreadId target,
+                             std::uint64_t generation) override;
+  void base_before_nested(Lk& lk, ThreadRecord& t) override;
+  void base_after_nested(Lk& lk, ThreadRecord& t) override;
+  void on_thread_start(Lk& lk, ThreadRecord& t) override;
+  void on_thread_done(Lk& lk, ThreadRecord& t) override;
+
+  /// True if `request` continues the logical thread of a live local
+  /// thread (i.e. it is a callback).  Always false for plain SEQ.
+  virtual bool is_callback(Lk& lk, const Request& request);
+
+  std::deque<Request> queue_;
+  bool busy_ = false;
+  common::ThreadId slot_owner_ = common::ThreadId::invalid();
+};
+
+class SlScheduler : public SeqScheduler {
+ public:
+  explicit SlScheduler(SchedulerConfig config) : SeqScheduler(config) {}
+
+  [[nodiscard]] SchedulerKind kind() const override { return SchedulerKind::kSl; }
+  [[nodiscard]] SchedulerCapabilities capabilities() const override;
+
+ protected:
+  bool is_callback(Lk& lk, const Request& request) override;
+};
+
+}  // namespace adets::sched

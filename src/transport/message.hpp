@@ -1,0 +1,17 @@
+// Wire-level message envelope of the simulated network.
+#pragma once
+
+#include "common/serialization.hpp"
+#include "common/types.hpp"
+
+namespace adets::transport {
+
+/// One datagram between two simulated nodes.  The payload is opaque to
+/// the transport; the group-communication layer encodes its own headers.
+struct Message {
+  common::NodeId src;
+  common::NodeId dst;
+  common::Bytes payload;
+};
+
+}  // namespace adets::transport

@@ -1,0 +1,165 @@
+#include "transport/network.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace adets::transport {
+
+using common::Duration;
+using common::NodeId;
+using common::TimePoint;
+
+SimNetwork::SimNetwork(LinkConfig default_link, std::uint64_t seed)
+    : default_link_(default_link), rng_(seed) {
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+SimNetwork::~SimNetwork() { stop(); }
+
+NodeId SimNetwork::create_node() {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  const auto id = NodeId(static_cast<NodeId::rep_type>(nodes_.size()));
+  auto node = std::make_unique<Node>();
+  Node* raw = node.get();
+  node->worker = std::thread([this, raw] { node_loop(*raw); });
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+void SimNetwork::set_handler(NodeId node, Handler handler) {
+  Node* n = nullptr;
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    n = nodes_.at(node.value()).get();
+  }
+  const std::lock_guard<std::mutex> guard(n->handler_mutex);
+  n->handler = std::move(handler);
+}
+
+bool SimNetwork::send(NodeId src, NodeId dst, common::Bytes payload) {
+  const auto now = common::Clock::now();
+  const std::lock_guard<std::mutex> guard(mutex_);
+  if (stopping_) return false;
+  if (src.value() >= nodes_.size() || dst.value() >= nodes_.size()) return false;
+  stats_.messages_sent++;
+  stats_.bytes_sent += payload.size();
+  if (nodes_[src.value()]->crashed.load() || nodes_[dst.value()]->crashed.load()) {
+    stats_.messages_dropped++;
+    return false;
+  }
+  const LinkConfig link = link_for(src, dst);
+  if (link.drop_probability > 0.0 &&
+      rng_.uniform_real(0.0, 1.0) < link.drop_probability) {
+    stats_.messages_dropped++;
+    return false;
+  }
+  Duration latency = common::Clock::scaled(link.base_latency);
+  if (link.jitter.count() > 0) {
+    const auto jitter_ns = common::Clock::scaled(link.jitter).count();
+    latency += Duration(static_cast<Duration::rep>(
+        rng_.uniform(0, static_cast<std::uint64_t>(jitter_ns))));
+  }
+  TimePoint due = now + latency;
+  // Preserve FIFO per directed link even when jitter would reorder.
+  const auto key = std::make_pair(src.value(), dst.value());
+  auto it = last_scheduled_.find(key);
+  if (it != last_scheduled_.end() && due < it->second) due = it->second;
+  last_scheduled_[key] = due;
+
+  heap_.push_back(Pending{due, next_seq_++, Message{src, dst, std::move(payload)}});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  heap_cv_.notify_one();
+  return true;
+}
+
+void SimNetwork::set_link(NodeId src, NodeId dst, LinkConfig config) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  links_[{src.value(), dst.value()}] = config;
+}
+
+void SimNetwork::crash(NodeId node) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  if (node.value() < nodes_.size()) {
+    nodes_[node.value()]->crashed.store(true);
+    ADETS_LOG_INFO("net") << "node " << node << " crashed";
+  }
+}
+
+bool SimNetwork::crashed(NodeId node) const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  return node.value() < nodes_.size() && nodes_[node.value()]->crashed.load();
+}
+
+NetworkStats SimNetwork::stats() const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  return stats_;
+}
+
+void SimNetwork::stop() {
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  heap_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // Close inboxes after the dispatcher is gone (no more pushes).
+  std::vector<Node*> nodes;
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    for (auto& n : nodes_) nodes.push_back(n.get());
+  }
+  for (Node* n : nodes) n->inbox.close();
+  for (Node* n : nodes) {
+    if (n->worker.joinable()) n->worker.join();
+  }
+}
+
+LinkConfig SimNetwork::link_for(NodeId src, NodeId dst) const {
+  const auto it = links_.find({src.value(), dst.value()});
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+void SimNetwork::dispatcher_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (stopping_) return;
+    if (heap_.empty()) {
+      heap_cv_.wait(lock, [this] { return stopping_ || !heap_.empty(); });
+      continue;
+    }
+    const TimePoint due = heap_.front().due;
+    const auto now = common::Clock::now();
+    if (due > now) {
+      heap_cv_.wait_until(lock, due, [this, due] {
+        return stopping_ || (!heap_.empty() && heap_.front().due < due);
+      });
+      continue;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    Pending item = std::move(heap_.back());
+    heap_.pop_back();
+    Node* dst = nodes_[item.message.dst.value()].get();
+    if (dst->crashed.load()) {
+      stats_.messages_dropped++;
+      continue;
+    }
+    stats_.messages_delivered++;
+    dst->inbox.push(std::move(item.message));
+  }
+}
+
+void SimNetwork::node_loop(Node& node) {
+  while (auto message = node.inbox.pop()) {
+    if (node.crashed.load()) continue;
+    Handler handler;
+    {
+      const std::lock_guard<std::mutex> guard(node.handler_mutex);
+      handler = node.handler;
+    }
+    if (handler) handler(std::move(*message));
+  }
+}
+
+}  // namespace adets::transport

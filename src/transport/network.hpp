@@ -1,0 +1,123 @@
+// Simulated point-to-point network.
+//
+// Replaces the paper's 100 Mbit/s switched LAN.  Every simulated machine
+// is a "node": it has an id, an inbox and a dedicated delivery thread
+// that hands received messages to a registered handler.  A central
+// dispatcher thread releases messages after their link latency elapses.
+//
+// Properties (mirroring a TCP LAN, which the paper's middleware assumes):
+//  - per-(src,dst) FIFO ordering, even with latency jitter;
+//  - reliable delivery unless a drop probability is configured on the
+//    link (used only by failure-detector tests) or a node is crashed;
+//  - latencies are expressed in *paper time* and scaled through
+//    common::Clock, so the compute/communication ratio of the paper's
+//    testbed is preserved under any time scale.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "transport/message.hpp"
+
+namespace adets::transport {
+
+/// Latency/loss model of one directed link.
+struct LinkConfig {
+  /// Fixed one-way latency in paper time.
+  common::Duration base_latency = common::paper_us(500);
+  /// Uniform extra latency in [0, jitter] in paper time.
+  common::Duration jitter = common::paper_us(200);
+  /// Probability that a message is silently dropped (default: reliable).
+  double drop_probability = 0.0;
+};
+
+/// Counters exposed for tests and the EXPERIMENTS report.
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+/// The simulated network fabric.  Thread-safe.
+class SimNetwork {
+ public:
+  using Handler = std::function<void(Message)>;
+
+  explicit SimNetwork(LinkConfig default_link = {}, std::uint64_t seed = 1);
+  ~SimNetwork();
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  /// Creates a new node and returns its id.  The node starts receiving
+  /// once a handler is registered.
+  common::NodeId create_node();
+
+  /// Registers (or replaces) the message handler of a node.  The handler
+  /// runs on the node's private delivery thread, one message at a time.
+  void set_handler(common::NodeId node, Handler handler);
+
+  /// Sends `payload` from `src` to `dst`; returns false if either end is
+  /// crashed (the message is silently lost, as on a real network).
+  bool send(common::NodeId src, common::NodeId dst, common::Bytes payload);
+
+  /// Overrides the latency/loss model of the directed link src->dst.
+  void set_link(common::NodeId src, common::NodeId dst, LinkConfig config);
+
+  /// Crashes a node: all traffic to and from it is dropped from now on.
+  void crash(common::NodeId node);
+
+  [[nodiscard]] bool crashed(common::NodeId node) const;
+
+  [[nodiscard]] NetworkStats stats() const;
+
+  /// Stops all delivery threads; pending messages are discarded.
+  void stop();
+
+ private:
+  struct Node {
+    common::BlockingQueue<Message> inbox;
+    Handler handler;
+    std::mutex handler_mutex;
+    std::atomic<bool> crashed{false};
+    std::thread worker;
+  };
+
+  struct Pending {
+    common::TimePoint due;
+    std::uint64_t seq;  // tie-break, preserves send order
+    Message message;
+    friend bool operator>(const Pending& a, const Pending& b) {
+      return a.due != b.due ? a.due > b.due : a.seq > b.seq;
+    }
+  };
+
+  void dispatcher_loop();
+  void node_loop(Node& node);
+  LinkConfig link_for(common::NodeId src, common::NodeId dst) const;
+
+  LinkConfig default_link_;
+  mutable std::mutex mutex_;  // guards nodes_ vector growth, links_, rng_, stats_, heap_
+  std::condition_variable heap_cv_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, LinkConfig> links_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, common::TimePoint> last_scheduled_;
+  std::vector<Pending> heap_;  // min-heap by due time
+  std::uint64_t next_seq_ = 0;
+  common::Rng rng_;
+  NetworkStats stats_;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace adets::transport

@@ -1,0 +1,154 @@
+#include "workload/kvstore.hpp"
+
+#include <stdexcept>
+
+#include "replication/statehash.hpp"
+
+namespace adets::workload {
+
+using common::Bytes;
+using common::CondVarId;
+using common::MutexId;
+using runtime::DetLock;
+using runtime::SyncContext;
+
+namespace {
+std::uint64_t fnv(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+}  // namespace
+
+MutexId KvStore::bucket_mutex(const std::string& key) const {
+  return MutexId(fnv(key) % buckets_);
+}
+
+CondVarId KvStore::bucket_condvar(const std::string& key) const {
+  return CondVarId(fnv(key) % buckets_);
+}
+
+void KvStore::touch(const std::string& key, SyncContext& ctx) {
+  versions_[key]++;
+  // Wake every watcher of this bucket; they re-check their key version.
+  ctx.notify_all(bucket_mutex(key), bucket_condvar(key));
+}
+
+Bytes KvStore::pack_put(const std::string& key, const std::string& value) {
+  common::Writer w;
+  w.str(key);
+  w.str(value);
+  return w.take();
+}
+
+Bytes KvStore::pack_key(const std::string& key) {
+  common::Writer w;
+  w.str(key);
+  return w.take();
+}
+
+Bytes KvStore::pack_cas(const std::string& key, const std::string& expected,
+                        const std::string& value) {
+  common::Writer w;
+  w.str(key);
+  w.str(expected);
+  w.str(value);
+  return w.take();
+}
+
+Bytes KvStore::pack_watch(const std::string& key, std::uint64_t timeout_paper_ms) {
+  common::Writer w;
+  w.str(key);
+  w.u64(timeout_paper_ms);
+  return w.take();
+}
+
+Bytes KvStore::dispatch(const std::string& method, const Bytes& args,
+                        SyncContext& ctx) {
+  common::Reader r(args);
+  common::Writer reply;
+
+  if (method == "put") {
+    const std::string key = r.str();
+    const std::string value = r.str();
+    DetLock lock(ctx, bucket_mutex(key));
+    const bool existed = data_.count(key) > 0;
+    data_[key] = value;
+    touch(key, ctx);
+    reply.boolean(existed);
+    return reply.take();
+  }
+  if (method == "get") {
+    const std::string key = r.str();
+    DetLock lock(ctx, bucket_mutex(key));
+    const auto it = data_.find(key);
+    reply.boolean(it != data_.end());
+    reply.str(it != data_.end() ? it->second : "");
+    return reply.take();
+  }
+  if (method == "remove") {
+    const std::string key = r.str();
+    DetLock lock(ctx, bucket_mutex(key));
+    const bool existed = data_.erase(key) > 0;
+    if (existed) touch(key, ctx);
+    reply.boolean(existed);
+    return reply.take();
+  }
+  if (method == "cas") {
+    const std::string key = r.str();
+    const std::string expected = r.str();
+    const std::string value = r.str();
+    DetLock lock(ctx, bucket_mutex(key));
+    const auto it = data_.find(key);
+    const bool success = it != data_.end() && it->second == expected;
+    if (success) {
+      it->second = value;
+      touch(key, ctx);
+    }
+    reply.boolean(success);
+    return reply.take();
+  }
+  if (method == "watch") {
+    const std::string key = r.str();
+    const auto timeout = common::paper_ms(static_cast<long long>(r.u64()));
+    DetLock lock(ctx, bucket_mutex(key));
+    const std::uint64_t seen = versions_[key];
+    bool changed = versions_[key] != seen;
+    while (!changed) {
+      const bool notified =
+          ctx.wait(bucket_mutex(key), bucket_condvar(key), timeout);
+      changed = versions_[key] != seen;
+      if (!notified && !changed) break;  // bounded wait expired
+    }
+    const auto it = data_.find(key);
+    reply.boolean(changed);
+    reply.str(it != data_.end() ? it->second : "");
+    return reply.take();
+  }
+  if (method == "size") {
+    // Size touches every bucket; take them in canonical order.
+    for (std::uint32_t b = 0; b < buckets_; ++b) ctx.lock(MutexId(b));
+    reply.u64(data_.size());
+    for (std::uint32_t b = buckets_; b > 0; --b) ctx.unlock(MutexId(b - 1));
+    return reply.take();
+  }
+  throw std::invalid_argument("unknown method: " + method);
+}
+
+std::uint64_t KvStore::state_hash() const {
+  repl::StateHash h;
+  for (const auto& [key, value] : data_) {
+    h.mix(key);
+    h.mix(value);
+  }
+  for (const auto& [key, version] : versions_) {
+    h.mix(key);
+    h.mix(version);
+  }
+  return h.digest();
+}
+
+}  // namespace adets::workload

@@ -1,0 +1,291 @@
+#include "workload/objects.hpp"
+
+#include <stdexcept>
+
+#include "replication/statehash.hpp"
+
+namespace adets::workload {
+
+using common::Bytes;
+using common::CondVarId;
+using common::MutexId;
+using common::paper_ms;
+using runtime::DetLock;
+using runtime::SyncContext;
+
+// --- marshalling -------------------------------------------------------------
+
+std::vector<std::uint64_t> unpack_u64(const Bytes& bytes) {
+  common::Reader r(bytes);
+  std::vector<std::uint64_t> values;
+  while (!r.exhausted()) values.push_back(r.u64());
+  return values;
+}
+
+// --- ComputePatterns (paper Fig. 3 / Fig. 4) -----------------------------------
+
+void ComputePatterns::access_state(std::uint64_t mutex_index, SyncContext& ctx) {
+  // Caller holds the mutex; the access itself is "negligible" (paper).
+  access_log_[mutex_index].push_back(ctx.request_id().value());
+}
+
+Bytes ComputePatterns::dispatch(const std::string& method, const Bytes& args,
+                                SyncContext& ctx) {
+  const auto a = unpack_u64(args);
+  if (a.size() < 2) throw std::invalid_argument("ComputePatterns needs (ms, mutex)");
+  const auto compute = paper_ms(static_cast<long long>(a[0]));
+  const MutexId mutex(a[1] % mutexes_);
+
+  if (method == "a") {
+    ctx.compute(compute);
+  } else if (method == "b") {
+    ctx.compute(compute);
+    DetLock lock(ctx, mutex);
+    access_state(mutex.value(), ctx);
+  } else if (method == "c") {
+    DetLock lock(ctx, mutex);
+    access_state(mutex.value(), ctx);
+    ctx.compute(compute);
+  } else if (method == "d") {
+    {
+      DetLock lock(ctx, mutex);
+      access_state(mutex.value(), ctx);
+    }
+    ctx.compute(compute);
+  } else if (method == "dy") {
+    // Pattern (d) plus an explicit yield: the paper's proposed MAT
+    // optimisation — donate the primary token before computing, so the
+    // next thread can lock without waiting for our completion.
+    {
+      DetLock lock(ctx, mutex);
+      access_state(mutex.value(), ctx);
+    }
+    ctx.yield();
+    ctx.compute(compute);
+  } else {
+    throw std::invalid_argument("unknown pattern: " + method);
+  }
+  return pack_u64(0);
+}
+
+std::uint64_t ComputePatterns::state_hash() const {
+  repl::StateHash h;
+  for (const auto& [mutex, log] : access_log_) {
+    h.mix(mutex);
+    h.mix_range(log);
+  }
+  return h.digest();
+}
+
+// --- EchoService ----------------------------------------------------------------
+
+Bytes EchoService::dispatch(const std::string& method, const Bytes& args,
+                            SyncContext& ctx) {
+  calls_++;
+  if (method == "echo") {
+    return args;
+  }
+  if (method == "delay") {
+    const auto a = unpack_u64(args);
+    ctx.compute(paper_ms(static_cast<long long>(a.empty() ? 0 : a[0])));
+    return pack_u64(calls_);
+  }
+  if (method == "callback") {
+    const auto a = unpack_u64(args);
+    if (a.empty()) throw std::invalid_argument("callback needs (group)");
+    return ctx.invoke(common::GroupId(static_cast<std::uint32_t>(a[0])), "__cb", {});
+  }
+  throw std::invalid_argument("unknown method: " + method);
+}
+
+// --- NestedPatterns (paper Fig. 5b) ----------------------------------------------
+
+Bytes NestedPatterns::dispatch(const std::string& method, const Bytes& args,
+                               SyncContext& ctx) {
+  const auto a = unpack_u64(args);
+  if (a.size() < 5) {
+    throw std::invalid_argument(
+        "NestedPatterns needs (callee, nested_lo, nested_hi, compute_lo, compute_hi)");
+  }
+  const common::GroupId callee(static_cast<std::uint32_t>(a[0]));
+  for (const char op : method) {
+    switch (op) {
+      case 'N': {
+        const auto duration = a[1] + ctx.rng().uniform(0, a[2] - a[1]);
+        ctx.invoke(callee, "delay", pack_u64(duration));
+        break;
+      }
+      case 'C': {
+        const auto duration = a[3] + ctx.rng().uniform(0, a[4] - a[3]);
+        ctx.compute(paper_ms(static_cast<long long>(duration)));
+        break;
+      }
+      case 'S': {
+        DetLock lock(ctx, MutexId(0));
+        state_log_.push_back(ctx.request_id().value());
+        break;
+      }
+      default:
+        throw std::invalid_argument("pattern may only contain N, C, S");
+    }
+  }
+  return pack_u64(0);
+}
+
+std::uint64_t NestedPatterns::state_hash() const {
+  repl::StateHash h;
+  h.mix_range(state_log_);
+  return h.digest();
+}
+
+// --- UnboundedBuffer (paper Fig. 6a) -----------------------------------------------
+
+Bytes UnboundedBuffer::dispatch(const std::string& method, const Bytes& args,
+                                SyncContext& ctx) {
+  const MutexId m(0);
+  const CondVarId available(0);
+  if (method == "produce") {
+    const auto a = unpack_u64(args);
+    DetLock lock(ctx, m);
+    items_.push_back(a.empty() ? 0 : a[0]);
+    ctx.notify_one(m, available);
+    return pack_u64(items_.size());
+  }
+  if (method == "consume") {
+    DetLock lock(ctx, m);
+    while (items_.empty()) ctx.wait(m, available);
+    const std::uint64_t item = items_.front();
+    items_.pop_front();
+    consumed_++;
+    return pack_u64(item);
+  }
+  if (method == "poll_consume") {
+    DetLock lock(ctx, m);
+    if (items_.empty()) return pack_u64(0);
+    const std::uint64_t item = items_.front();
+    items_.pop_front();
+    consumed_++;
+    return pack_u64(1, item);
+  }
+  throw std::invalid_argument("unknown method: " + method);
+}
+
+std::uint64_t UnboundedBuffer::state_hash() const {
+  repl::StateHash h;
+  h.mix(consumed_);
+  h.mix_range(items_);
+  return h.digest();
+}
+
+// --- BoundedBuffer (paper Fig. 6b) ----------------------------------------------------
+
+Bytes BoundedBuffer::dispatch(const std::string& method, const Bytes& args,
+                              SyncContext& ctx) {
+  const MutexId m(0);
+  const CondVarId not_full(0);
+  const CondVarId not_empty(1);
+  if (method == "produce") {
+    const auto a = unpack_u64(args);
+    DetLock lock(ctx, m);
+    while (items_.size() >= capacity_) ctx.wait(m, not_full);
+    items_.push_back(a.empty() ? 0 : a[0]);
+    produced_++;
+    ctx.notify_one(m, not_empty);
+    return pack_u64(produced_);
+  }
+  if (method == "consume") {
+    DetLock lock(ctx, m);
+    while (items_.empty()) ctx.wait(m, not_empty);
+    const std::uint64_t item = items_.front();
+    items_.pop_front();
+    consumed_++;
+    ctx.notify_one(m, not_full);
+    return pack_u64(item);
+  }
+  if (method == "poll_produce") {
+    const auto a = unpack_u64(args);
+    DetLock lock(ctx, m);
+    if (items_.size() >= capacity_) return pack_u64(0);
+    items_.push_back(a.empty() ? 0 : a[0]);
+    produced_++;
+    return pack_u64(1);
+  }
+  if (method == "poll_consume") {
+    DetLock lock(ctx, m);
+    if (items_.empty()) return pack_u64(0);
+    const std::uint64_t item = items_.front();
+    items_.pop_front();
+    consumed_++;
+    return pack_u64(1, item);
+  }
+  throw std::invalid_argument("unknown method: " + method);
+}
+
+std::uint64_t BoundedBuffer::state_hash() const {
+  repl::StateHash h;
+  h.mix(consumed_);
+  h.mix(produced_);
+  h.mix_range(items_);
+  return h.digest();
+}
+
+// --- BankAccounts ------------------------------------------------------------------------
+
+Bytes BankAccounts::dispatch(const std::string& method, const Bytes& args,
+                             SyncContext& ctx) {
+  const auto a = unpack_u64(args);
+  auto account_mutex = [](std::uint64_t account) { return MutexId(account); };
+  auto account_cv = [](std::uint64_t account) { return CondVarId(account); };
+
+  if (method == "deposit") {
+    const std::uint64_t account = a.at(0) % balances_.size();
+    DetLock lock(ctx, account_mutex(account));
+    balances_[account] += static_cast<std::int64_t>(a.at(1));
+    ctx.notify_all(account_mutex(account), account_cv(account));
+    return pack_u64(static_cast<std::uint64_t>(balances_[account]));
+  }
+  if (method == "withdraw") {
+    const std::uint64_t account = a.at(0) % balances_.size();
+    const auto amount = static_cast<std::int64_t>(a.at(1));
+    const auto timeout = a.size() > 2 ? paper_ms(static_cast<long long>(a[2]))
+                                      : common::Duration::zero();
+    DetLock lock(ctx, account_mutex(account));
+    while (balances_[account] < amount) {
+      const bool notified =
+          ctx.wait(account_mutex(account), account_cv(account), timeout);
+      if (!notified && balances_[account] < amount) return pack_u64(0);
+    }
+    balances_[account] -= amount;
+    return pack_u64(1);
+  }
+  if (method == "balance") {
+    const std::uint64_t account = a.at(0) % balances_.size();
+    DetLock lock(ctx, account_mutex(account));
+    return pack_u64(static_cast<std::uint64_t>(balances_[account]));
+  }
+  if (method == "transfer") {
+    const std::uint64_t from = a.at(0) % balances_.size();
+    const std::uint64_t to = a.at(1) % balances_.size();
+    const auto amount = static_cast<std::int64_t>(a.at(2));
+    if (from == to) return pack_u64(1);
+    // Canonical lock order prevents application-level deadlock.
+    const std::uint64_t first = std::min(from, to);
+    const std::uint64_t second = std::max(from, to);
+    DetLock lock_first(ctx, account_mutex(first));
+    DetLock lock_second(ctx, account_mutex(second));
+    if (balances_[from] < amount) return pack_u64(0);
+    balances_[from] -= amount;
+    balances_[to] += amount;
+    ctx.notify_all(account_mutex(to), account_cv(to));
+    return pack_u64(1);
+  }
+  throw std::invalid_argument("unknown method: " + method);
+}
+
+std::uint64_t BankAccounts::state_hash() const {
+  repl::StateHash h;
+  h.mix_range(balances_);
+  return h.digest();
+}
+
+}  // namespace adets::workload

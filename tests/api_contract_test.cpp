@@ -1,0 +1,144 @@
+// API-contract tests: misuse of the synchronisation API must fail loudly
+// and identically across schedulers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "sched_harness.hpp"
+
+namespace adets::testing {
+namespace {
+
+using sched::SchedulerKind;
+
+class ContractTest : public ::testing::Test,
+                     public ::testing::WithParamInterface<SchedulerKind> {
+ protected:
+  void SetUp() override {
+    saved_scale_ = common::Clock::scale();
+    common::Clock::set_scale(0.05);
+  }
+  void TearDown() override { common::Clock::set_scale(saved_scale_); }
+  double saved_scale_ = 1.0;
+};
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ContractTest,
+                         ::testing::Values(SchedulerKind::kSat, SchedulerKind::kMat,
+                                           SchedulerKind::kLsa, SchedulerKind::kPds),
+                         [](const auto& info) { return sched::to_string(info.param); });
+
+TEST_P(ContractTest, UnlockWithoutLockThrows) {
+  sched::SchedulerConfig config;
+  config.pds_thread_pool = 2;
+  SchedulerCluster cluster(GetParam(), 1, config);
+  std::atomic<bool> threw{false};
+  cluster.set_body(0, [&](BodyCtx& ctx) {
+    try {
+      ctx.unlock(9);
+    } catch (const std::logic_error&) {
+      threw.store(true);
+    }
+  });
+  cluster.submit(0);
+  ASSERT_TRUE(cluster.wait_completed(1));
+  EXPECT_TRUE(threw.load());
+}
+
+TEST_P(ContractTest, WaitWithoutMutexThrows) {
+  sched::SchedulerConfig config;
+  config.pds_thread_pool = 2;
+  SchedulerCluster cluster(GetParam(), 1, config);
+  std::atomic<bool> threw{false};
+  cluster.set_body(0, [&](BodyCtx& ctx) {
+    try {
+      ctx.wait(9, 9);
+    } catch (const std::logic_error&) {
+      threw.store(true);
+    }
+  });
+  cluster.submit(0);
+  ASSERT_TRUE(cluster.wait_completed(1));
+  EXPECT_TRUE(threw.load());
+}
+
+TEST_P(ContractTest, NotifyWithoutMutexThrows) {
+  sched::SchedulerConfig config;
+  config.pds_thread_pool = 2;
+  SchedulerCluster cluster(GetParam(), 1, config);
+  std::atomic<bool> threw{false};
+  cluster.set_body(0, [&](BodyCtx& ctx) {
+    try {
+      ctx.notify_one(9, 9);
+    } catch (const std::logic_error&) {
+      threw.store(true);
+    }
+  });
+  cluster.submit(0);
+  ASSERT_TRUE(cluster.wait_completed(1));
+  EXPECT_TRUE(threw.load());
+}
+
+TEST_P(ContractTest, UnlockingAnotherThreadsMutexThrows) {
+  sched::SchedulerConfig config;
+  config.pds_thread_pool = 3;
+  SchedulerCluster cluster(GetParam(), 1, config);
+  std::atomic<bool> threw{false};
+  cluster.set_body(0, [&](BodyCtx& ctx) {
+    ctx.lock(3);
+    ctx.compute(std::chrono::milliseconds(5));
+    ctx.unlock(3);
+  });
+  cluster.set_body(1, [&](BodyCtx& ctx) {
+    try {
+      // Whether request 0 currently holds mutex 3 or has already
+      // released it, this logical thread never acquired it.
+      ctx.unlock(3);
+    } catch (const std::logic_error&) {
+      threw.store(true);
+    }
+  });
+  cluster.submit(0);
+  cluster.submit(1);
+  ASSERT_TRUE(cluster.wait_completed(2));
+  EXPECT_TRUE(threw.load());
+}
+
+TEST_F(ContractTest, SeqWaitIsRejected) {
+  SchedulerCluster cluster(SchedulerKind::kSeq, 1);
+  std::atomic<bool> threw{false};
+  cluster.set_body(0, [&](BodyCtx& ctx) {
+    ctx.lock(1);
+    try {
+      ctx.wait(1, 1);
+    } catch (const std::logic_error&) {
+      threw.store(true);
+    }
+    ctx.unlock(1);
+  });
+  cluster.submit(0);
+  ASSERT_TRUE(cluster.wait_completed(1));
+  EXPECT_TRUE(threw.load());
+}
+
+TEST_F(ContractTest, SeqNotifyIsHarmlessNoOp) {
+  SchedulerCluster cluster(SchedulerKind::kSeq, 1);
+  std::atomic<bool> ok{false};
+  cluster.set_body(0, [&](BodyCtx& ctx) {
+    ctx.lock(1);
+    ctx.notify_one(1, 1);
+    ctx.notify_all(1, 1);
+    ctx.unlock(1);
+    ok.store(true);
+  });
+  cluster.submit(0);
+  ASSERT_TRUE(cluster.wait_completed(1));
+  EXPECT_TRUE(ok.load());
+}
+
+TEST_F(ContractTest, SyncCallFromForeignThreadThrows) {
+  SchedulerCluster cluster(SchedulerKind::kSat, 1);
+  EXPECT_THROW(cluster.replica(0).lock(common::MutexId(1)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace adets::testing

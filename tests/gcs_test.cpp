@@ -1,0 +1,244 @@
+// Tests for the group communication substrate: total order, agreement,
+// external submissions, NACK repair, sequencer fail-over.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/watchdog.hpp"
+#include "gcs/group_service.hpp"
+
+namespace adets::gcs {
+namespace {
+
+using common::Bytes;
+using common::GroupId;
+using common::NodeId;
+
+Bytes text(const std::string& s) { return Bytes(s.begin(), s.end()); }
+std::string str(const Bytes& b) { return std::string(b.begin(), b.end()); }
+
+/// Records deliveries of one member for later comparison.
+struct DeliveryLog {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::string> messages;
+  std::vector<std::uint32_t> views;
+
+  void add(const Sequenced& m) {
+    const std::lock_guard<std::mutex> guard(mutex);
+    messages.push_back(str(m.submission.payload));
+    cv.notify_all();
+  }
+  void add_view(const View& v) {
+    const std::lock_guard<std::mutex> guard(mutex);
+    views.push_back(v.id.value());
+    cv.notify_all();
+  }
+  bool wait_count(std::size_t n, std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex);
+    return cv.wait_for(lock, timeout, [&] { return messages.size() >= n; });
+  }
+  bool wait_view(std::uint32_t view_id, std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex);
+    return cv.wait_for(lock, timeout, [&] {
+      return !views.empty() && views.back() >= view_id;
+    });
+  }
+  std::vector<std::string> snapshot() {
+    const std::lock_guard<std::mutex> guard(mutex);
+    return messages;
+  }
+};
+
+/// A three-member group plus one external client node.
+class GcsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_scale_ = common::Clock::scale();
+    common::Clock::set_scale(0.01);
+    net_ = std::make_unique<transport::SimNetwork>();
+    for (int i = 0; i < 4; ++i) nodes_.push_back(net_->create_node());
+    for (int i = 0; i < 4; ++i) {
+      services_.push_back(std::make_unique<GroupService>(*net_, nodes_[i]));
+    }
+    members_ = {nodes_[0], nodes_[1], nodes_[2]};
+    for (int i = 0; i < 3; ++i) {
+      logs_.push_back(std::make_unique<DeliveryLog>());
+      DeliveryLog* log = logs_.back().get();
+      GroupCallbacks callbacks;
+      callbacks.deliver = [log](GroupId, const Sequenced& m) { log->add(m); };
+      callbacks.on_view = [log](GroupId, const View& v) { log->add_view(v); };
+      services_[i]->join(kGroup, members_, callbacks);
+    }
+    services_[3]->connect(kGroup, members_);
+  }
+
+  void TearDown() override {
+    for (auto& s : services_) s->stop();
+    net_->stop();
+    common::Clock::set_scale(saved_scale_);
+  }
+
+  static constexpr GroupId kGroup{7};
+  double saved_scale_ = 1.0;
+  std::unique_ptr<transport::SimNetwork> net_;
+  std::vector<NodeId> nodes_;
+  std::vector<std::unique_ptr<GroupService>> services_;
+  std::vector<NodeId> members_;
+  std::vector<std::unique_ptr<DeliveryLog>> logs_;
+};
+
+constexpr GroupId GcsTest::kGroup;
+
+TEST_F(GcsTest, MemberSubmissionDeliveredToAllMembers) {
+  services_[0]->submit(kGroup, text("hello"));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(logs_[i]->wait_count(1, std::chrono::seconds(3))) << "member " << i;
+    EXPECT_EQ(logs_[i]->snapshot(), std::vector<std::string>{"hello"});
+  }
+}
+
+TEST_F(GcsTest, ExternalSubmissionDeliveredToAllMembers) {
+  services_[3]->submit(kGroup, text("from-client"));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(logs_[i]->wait_count(1, std::chrono::seconds(3)));
+    EXPECT_EQ(logs_[i]->snapshot(), std::vector<std::string>{"from-client"});
+  }
+}
+
+TEST_F(GcsTest, TotalOrderAgreesAcrossMembersUnderConcurrency) {
+  common::Watchdog dog("gcs total order", std::chrono::seconds(60));
+  constexpr int kPerSender = 40;
+  std::vector<std::thread> senders;
+  for (int s = 0; s < 4; ++s) {
+    senders.emplace_back([this, s] {
+      for (int i = 0; i < kPerSender; ++i) {
+        services_[s]->submit(kGroup, text("s" + std::to_string(s) + "-" + std::to_string(i)));
+      }
+    });
+  }
+  for (auto& t : senders) t.join();
+  const std::size_t total = 4 * kPerSender;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(logs_[i]->wait_count(total, std::chrono::seconds(30))) << "member " << i;
+  }
+  const auto reference = logs_[0]->snapshot();
+  EXPECT_EQ(reference.size(), total);
+  EXPECT_EQ(logs_[1]->snapshot(), reference);
+  EXPECT_EQ(logs_[2]->snapshot(), reference);
+  // Per-sender FIFO must hold inside the total order.
+  for (int s = 0; s < 4; ++s) {
+    int expected = 0;
+    const std::string prefix = "s" + std::to_string(s) + "-";
+    for (const auto& m : reference) {
+      if (m.rfind(prefix, 0) == 0) {
+        EXPECT_EQ(m, prefix + std::to_string(expected));
+        expected++;
+      }
+    }
+    EXPECT_EQ(expected, kPerSender);
+  }
+}
+
+TEST_F(GcsTest, SubmissionsAreDeduplicatedAcrossRetries) {
+  // Force retransmission by making acks slow: crash nothing, just submit
+  // and verify exactly-once delivery despite the sender-side retry timer.
+  for (int i = 0; i < 20; ++i) {
+    services_[3]->submit(kGroup, text("m" + std::to_string(i)));
+  }
+  ASSERT_TRUE(logs_[0]->wait_count(20, std::chrono::seconds(10)));
+  // Allow extra time for would-be duplicates to arrive.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(logs_[0]->snapshot().size(), 20u);
+  EXPECT_EQ(logs_[1]->snapshot(), logs_[0]->snapshot());
+}
+
+TEST_F(GcsTest, SequencerFailoverContinuesTotalOrder) {
+  common::Watchdog dog("gcs failover", std::chrono::seconds(120));
+  for (int i = 0; i < 10; ++i) {
+    services_[3]->submit(kGroup, text("pre-" + std::to_string(i)));
+  }
+  ASSERT_TRUE(logs_[1]->wait_count(10, std::chrono::seconds(10)));
+  ASSERT_TRUE(logs_[2]->wait_count(10, std::chrono::seconds(10)));
+
+  // Crash the sequencer (lowest node id).
+  net_->crash(nodes_[0]);
+  ASSERT_TRUE(logs_[1]->wait_view(1, std::chrono::seconds(20)));
+  ASSERT_TRUE(logs_[2]->wait_view(1, std::chrono::seconds(20)));
+  EXPECT_EQ(services_[1]->current_view(kGroup).sequencer(), nodes_[1]);
+
+  for (int i = 0; i < 10; ++i) {
+    services_[3]->submit(kGroup, text("post-" + std::to_string(i)));
+  }
+  ASSERT_TRUE(logs_[1]->wait_count(20, std::chrono::seconds(20)));
+  ASSERT_TRUE(logs_[2]->wait_count(20, std::chrono::seconds(20)));
+  const auto log1 = logs_[1]->snapshot();
+  const auto log2 = logs_[2]->snapshot();
+  EXPECT_EQ(log1, log2);
+  // All pre- messages precede all post- messages and nothing is lost.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(log1[i], "pre-" + std::to_string(i));
+    EXPECT_EQ(log1[10 + i], "post-" + std::to_string(i));
+  }
+}
+
+TEST_F(GcsTest, InFlightSubmissionsSurviveFailover) {
+  common::Watchdog dog("gcs inflight failover", std::chrono::seconds(120));
+  // Submit continuously while the sequencer dies.
+  std::atomic<bool> stop{false};
+  std::atomic<int> sent{0};
+  std::thread pump([&] {
+    while (!stop.load()) {
+      services_[3]->submit(kGroup, text("x" + std::to_string(sent.fetch_add(1))));
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  net_->crash(nodes_[0]);
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  stop.store(true);
+  pump.join();
+  const std::size_t total = static_cast<std::size_t>(sent.load());
+  ASSERT_TRUE(logs_[1]->wait_count(total, std::chrono::seconds(30)))
+      << "delivered " << logs_[1]->snapshot().size() << " of " << total;
+  ASSERT_TRUE(logs_[2]->wait_count(total, std::chrono::seconds(30)));
+  const auto log1 = logs_[1]->snapshot();
+  EXPECT_EQ(log1, logs_[2]->snapshot());
+  // Exactly-once: all distinct.
+  std::set<std::string> unique(log1.begin(), log1.end());
+  EXPECT_EQ(unique.size(), log1.size());
+}
+
+TEST_F(GcsTest, DirectMessagesBypassTotalOrder) {
+  std::mutex m;
+  std::condition_variable cv;
+  std::vector<std::string> got;
+  services_[3]->set_direct_handler([&](NodeId src, const Bytes& payload) {
+    const std::lock_guard<std::mutex> guard(m);
+    got.push_back(str(payload) + "@" + std::to_string(src.value()));
+    cv.notify_all();
+  });
+  services_[0]->send_direct(nodes_[3], text("reply"));
+  std::unique_lock<std::mutex> lock(m);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(3), [&] { return !got.empty(); }));
+  EXPECT_EQ(got[0], "reply@0");
+}
+
+TEST_F(GcsTest, ViewReportsSortedMembersAndSequencer) {
+  const View v = services_[0]->current_view(kGroup);
+  ASSERT_EQ(v.members.size(), 3u);
+  EXPECT_EQ(v.sequencer(), nodes_[0]);
+  EXPECT_TRUE(std::is_sorted(v.members.begin(), v.members.end()));
+  EXPECT_TRUE(v.contains(nodes_[1]));
+  EXPECT_FALSE(v.contains(nodes_[3]));
+}
+
+}  // namespace
+}  // namespace adets::gcs

@@ -1,0 +1,149 @@
+// KvStore application tests across schedulers: semantics, blocking
+// watch, CAS races, cross-replica consistency, and log replay.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "replication/consistency.hpp"
+#include "replication/replay.hpp"
+#include "runtime/cluster.hpp"
+#include "workload/kvstore.hpp"
+
+namespace adets::workload {
+namespace {
+
+using common::Bytes;
+using common::GroupId;
+using sched::SchedulerKind;
+
+std::pair<bool, std::string> flag_value(const Bytes& reply) {
+  common::Reader r(reply);
+  const bool flag = r.boolean();
+  return {flag, r.str()};
+}
+
+bool flag_of(const Bytes& reply) {
+  common::Reader r(reply);
+  return r.boolean();
+}
+
+class KvStoreTest : public ::testing::Test,
+                    public ::testing::WithParamInterface<SchedulerKind> {
+ protected:
+  void SetUp() override {
+    saved_scale_ = common::Clock::scale();
+    common::Clock::set_scale(0.01);
+    config_.pds_thread_pool = 4;
+    store_ = cluster_.create_group(
+        3, GetParam(), [] { return std::make_unique<KvStore>(8); }, config_);
+    client_ = &cluster_.create_client();
+  }
+  void TearDown() override { common::Clock::set_scale(saved_scale_); }
+
+  double saved_scale_ = 1.0;
+  sched::SchedulerConfig config_;
+  runtime::Cluster cluster_;
+  GroupId store_;
+  runtime::Client* client_ = nullptr;
+};
+
+INSTANTIATE_TEST_SUITE_P(Kinds, KvStoreTest,
+                         ::testing::Values(SchedulerKind::kSat, SchedulerKind::kMat,
+                                           SchedulerKind::kLsa, SchedulerKind::kPds),
+                         [](const auto& info) { return sched::to_string(info.param); });
+
+TEST_P(KvStoreTest, PutGetRemoveRoundTrip) {
+  EXPECT_FALSE(flag_of(client_->invoke(store_, "put", KvStore::pack_put("a", "1"))));
+  EXPECT_TRUE(flag_of(client_->invoke(store_, "put", KvStore::pack_put("a", "2"))));
+  const auto [found, value] =
+      flag_value(client_->invoke(store_, "get", KvStore::pack_key("a")));
+  EXPECT_TRUE(found);
+  EXPECT_EQ(value, "2");
+  EXPECT_TRUE(flag_of(client_->invoke(store_, "remove", KvStore::pack_key("a"))));
+  EXPECT_FALSE(flag_of(client_->invoke(store_, "remove", KvStore::pack_key("a"))));
+  const auto [found2, _] =
+      flag_value(client_->invoke(store_, "get", KvStore::pack_key("a")));
+  EXPECT_FALSE(found2);
+}
+
+TEST_P(KvStoreTest, CasSucceedsOnlyOnExpectedValue) {
+  client_->invoke(store_, "put", KvStore::pack_put("k", "v1"));
+  EXPECT_TRUE(flag_of(client_->invoke(store_, "cas", KvStore::pack_cas("k", "v1", "v2"))));
+  EXPECT_FALSE(flag_of(client_->invoke(store_, "cas", KvStore::pack_cas("k", "v1", "v3"))));
+  const auto [_, value] = flag_value(client_->invoke(store_, "get", KvStore::pack_key("k")));
+  EXPECT_EQ(value, "v2");
+}
+
+TEST_P(KvStoreTest, WatchWokenByPut) {
+  runtime::Client& watcher = cluster_.create_client();
+  std::thread watch_thread([&] {
+    // 60000 paper-ms = 600 ms real at this scale: ample margin over the
+    // 30 ms delay below, so the bounded wait cannot expire first.
+    const auto [changed, value] = flag_value(
+        watcher.invoke(store_, "watch", KvStore::pack_watch("w", 60000)));
+    EXPECT_TRUE(changed);
+    EXPECT_EQ(value, "arrived");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  client_->invoke(store_, "put", KvStore::pack_put("w", "arrived"));
+  watch_thread.join();
+  ASSERT_TRUE(cluster_.wait_drained(store_, 2));
+  EXPECT_TRUE(repl::check_group(cluster_, store_).consistent());
+}
+
+TEST_P(KvStoreTest, WatchTimesOutWithoutChange) {
+  const auto [changed, _] = flag_value(
+      client_->invoke(store_, "watch", KvStore::pack_watch("silent", 50)));
+  EXPECT_FALSE(changed);
+  ASSERT_TRUE(cluster_.wait_drained(store_, 1));
+  EXPECT_TRUE(repl::check_group(cluster_, store_).consistent());
+}
+
+TEST_P(KvStoreTest, ConcurrentCasIsLinearizedIdentically) {
+  client_->invoke(store_, "put", KvStore::pack_put("ctr", "0"));
+  constexpr int kClients = 4;
+  std::vector<runtime::Client*> clients;
+  for (int c = 0; c < kClients; ++c) clients.push_back(&cluster_.create_client());
+  std::atomic<int> successes{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      // All race the same CAS; exactly one may win.
+      if (flag_of(clients[c]->invoke(
+              store_, "cas", KvStore::pack_cas("ctr", "0", "w" + std::to_string(c))))) {
+        successes.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(successes.load(), 1);
+  ASSERT_TRUE(cluster_.wait_drained(store_, 1 + kClients));
+  EXPECT_TRUE(repl::check_group(cluster_, store_).consistent());
+}
+
+TEST_P(KvStoreTest, SizeCountsKeys) {
+  client_->invoke(store_, "put", KvStore::pack_put("x", "1"));
+  client_->invoke(store_, "put", KvStore::pack_put("y", "2"));
+  const Bytes reply = client_->invoke(store_, "size", {});
+  common::Reader r(reply);
+  EXPECT_EQ(r.u64(), 2u);
+}
+
+TEST_P(KvStoreTest, LogReplayRebuildsStore) {
+  auto log = std::make_shared<runtime::EventLog>();
+  cluster_.replica(store_, 1).set_event_log(log);
+  for (int i = 0; i < 10; ++i) {
+    client_->invoke(store_, "put",
+                    KvStore::pack_put("k" + std::to_string(i % 3), std::to_string(i)));
+  }
+  ASSERT_TRUE(cluster_.wait_drained(store_, 10));
+  const auto live = cluster_.replica(store_, 1).state_hash();
+  const auto replayed = repl::replay_log(*log, GetParam(), config_, [] {
+    return std::make_unique<KvStore>(8);
+  });
+  EXPECT_TRUE(replayed.complete);
+  EXPECT_EQ(replayed.state_hash, live);
+}
+
+}  // namespace
+}  // namespace adets::workload

@@ -1,0 +1,186 @@
+// Unit tests for the simulated network.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "transport/network.hpp"
+
+namespace adets::transport {
+namespace {
+
+using common::Bytes;
+using common::NodeId;
+
+class TransportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_scale_ = common::Clock::scale();
+    common::Clock::set_scale(0.01);  // keep latencies tiny
+  }
+  void TearDown() override { common::Clock::set_scale(saved_scale_); }
+  double saved_scale_ = 1.0;
+};
+
+Bytes payload(std::uint8_t tag) { return Bytes{tag}; }
+
+TEST_F(TransportTest, DeliversMessageToHandler) {
+  SimNetwork net;
+  const NodeId a = net.create_node();
+  const NodeId b = net.create_node();
+
+  std::mutex m;
+  std::condition_variable cv;
+  std::vector<Message> received;
+  net.set_handler(b, [&](Message msg) {
+    const std::lock_guard<std::mutex> guard(m);
+    received.push_back(std::move(msg));
+    cv.notify_all();
+  });
+
+  ASSERT_TRUE(net.send(a, b, payload(7)));
+  std::unique_lock<std::mutex> lock(m);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(2),
+                          [&] { return !received.empty(); }));
+  EXPECT_EQ(received[0].src, a);
+  EXPECT_EQ(received[0].dst, b);
+  EXPECT_EQ(received[0].payload, payload(7));
+}
+
+TEST_F(TransportTest, PerLinkFifoDespiteJitter) {
+  LinkConfig link;
+  link.base_latency = common::paper_us(100);
+  link.jitter = common::paper_ms(5);  // large jitter to provoke reordering
+  SimNetwork net(link, /*seed=*/42);
+  const NodeId a = net.create_node();
+  const NodeId b = net.create_node();
+
+  std::mutex m;
+  std::condition_variable cv;
+  std::vector<std::uint8_t> order;
+  net.set_handler(b, [&](Message msg) {
+    const std::lock_guard<std::mutex> guard(m);
+    order.push_back(msg.payload[0]);
+    cv.notify_all();
+  });
+
+  constexpr int kCount = 50;
+  for (int i = 0; i < kCount; ++i) {
+    net.send(a, b, payload(static_cast<std::uint8_t>(i)));
+  }
+  std::unique_lock<std::mutex> lock(m);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                          [&] { return order.size() == kCount; }));
+  for (int i = 0; i < kCount; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST_F(TransportTest, CrashedNodeReceivesNothing) {
+  SimNetwork net;
+  const NodeId a = net.create_node();
+  const NodeId b = net.create_node();
+  std::atomic<int> count{0};
+  net.set_handler(b, [&](Message) { count++; });
+
+  net.crash(b);
+  EXPECT_TRUE(net.crashed(b));
+  EXPECT_FALSE(net.send(a, b, payload(1)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(count.load(), 0);
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+}
+
+TEST_F(TransportTest, CrashedNodeSendsNothing) {
+  SimNetwork net;
+  const NodeId a = net.create_node();
+  const NodeId b = net.create_node();
+  std::atomic<int> count{0};
+  net.set_handler(b, [&](Message) { count++; });
+
+  net.crash(a);
+  EXPECT_FALSE(net.send(a, b, payload(1)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST_F(TransportTest, DropProbabilityDropsEverythingAtOne) {
+  SimNetwork net;
+  const NodeId a = net.create_node();
+  const NodeId b = net.create_node();
+  LinkConfig lossy;
+  lossy.drop_probability = 1.0;
+  net.set_link(a, b, lossy);
+
+  std::atomic<int> count{0};
+  net.set_handler(b, [&](Message) { count++; });
+  for (int i = 0; i < 10; ++i) net.send(a, b, payload(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(count.load(), 0);
+  EXPECT_EQ(net.stats().messages_dropped, 10u);
+}
+
+TEST_F(TransportTest, LatencyIsApplied) {
+  LinkConfig link;
+  link.base_latency = common::paper_ms(500);  // 5ms real at scale 0.01
+  link.jitter = common::Duration::zero();
+  SimNetwork net(link);
+  const NodeId a = net.create_node();
+  const NodeId b = net.create_node();
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool got = false;
+  common::TimePoint arrival;
+  net.set_handler(b, [&](Message) {
+    const std::lock_guard<std::mutex> guard(m);
+    arrival = common::Clock::now();
+    got = true;
+    cv.notify_all();
+  });
+
+  const auto start = common::Clock::now();
+  net.send(a, b, payload(1));
+  std::unique_lock<std::mutex> lock(m);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(2), [&] { return got; }));
+  EXPECT_GE(arrival - start, std::chrono::milliseconds(4));
+}
+
+TEST_F(TransportTest, ManyNodesAllToAll) {
+  SimNetwork net;
+  constexpr int kNodes = 8;
+  std::vector<NodeId> nodes;
+  std::atomic<int> delivered{0};
+  for (int i = 0; i < kNodes; ++i) nodes.push_back(net.create_node());
+  for (int i = 0; i < kNodes; ++i) {
+    net.set_handler(nodes[i], [&](Message) { delivered++; });
+  }
+  for (int i = 0; i < kNodes; ++i) {
+    for (int j = 0; j < kNodes; ++j) {
+      if (i != j) net.send(nodes[i], nodes[j], payload(1));
+    }
+  }
+  const auto deadline = common::Clock::now() + std::chrono::seconds(2);
+  while (delivered.load() < kNodes * (kNodes - 1) &&
+         common::Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(delivered.load(), kNodes * (kNodes - 1));
+  EXPECT_EQ(net.stats().messages_delivered, static_cast<std::uint64_t>(kNodes * (kNodes - 1)));
+}
+
+TEST_F(TransportTest, StopIsIdempotentAndSafe) {
+  SimNetwork net;
+  const NodeId a = net.create_node();
+  const NodeId b = net.create_node();
+  net.set_handler(b, [](Message) {});
+  net.send(a, b, payload(1));
+  net.stop();
+  net.stop();
+  EXPECT_FALSE(net.send(a, b, payload(2)));
+}
+
+}  // namespace
+}  // namespace adets::transport

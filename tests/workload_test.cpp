@@ -1,0 +1,59 @@
+// Unit tests for the workload objects (marshalling, state hashing) that
+// do not need a full cluster.
+#include <gtest/gtest.h>
+
+#include "workload/objects.hpp"
+#include "replication/statehash.hpp"
+
+namespace repl = adets::repl;
+
+namespace adets::workload {
+namespace {
+
+TEST(PackTest, RoundTripsValues) {
+  EXPECT_EQ(unpack_u64(pack_u64(7)), (std::vector<std::uint64_t>{7}));
+  EXPECT_EQ(unpack_u64(pack_u64(1, 2)), (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(unpack_u64(pack_u64(1, 2, 3)), (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_TRUE(unpack_u64({}).empty());
+}
+
+TEST(StateHashTest, OrderSensitive) {
+  repl::StateHash a;
+  a.mix(1).mix(2);
+  repl::StateHash b;
+  b.mix(2).mix(1);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(StateHashTest, StringsAndRanges) {
+  repl::StateHash a;
+  a.mix(std::string("hello"));
+  repl::StateHash b;
+  b.mix(std::string("hello"));
+  EXPECT_EQ(a.digest(), b.digest());
+  repl::StateHash c;
+  c.mix(std::string("world"));
+  EXPECT_NE(a.digest(), c.digest());
+
+  std::vector<std::uint64_t> range{1, 2, 3};
+  repl::StateHash d;
+  d.mix_range(range);
+  repl::StateHash e;
+  e.mix(1).mix(2).mix(3);
+  EXPECT_EQ(d.digest(), e.digest());
+}
+
+TEST(ObjectsTest, FreshObjectsHashEqually) {
+  ComputePatterns a(10);
+  ComputePatterns b(10);
+  EXPECT_EQ(a.state_hash(), b.state_hash());
+  UnboundedBuffer u1;
+  UnboundedBuffer u2;
+  EXPECT_EQ(u1.state_hash(), u2.state_hash());
+  BankAccounts bank1(8);
+  BankAccounts bank2(8);
+  EXPECT_EQ(bank1.state_hash(), bank2.state_hash());
+}
+
+}  // namespace
+}  // namespace adets::workload
