@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mat_yield.dir/ablation_mat_yield.cpp.o"
+  "CMakeFiles/ablation_mat_yield.dir/ablation_mat_yield.cpp.o.d"
+  "ablation_mat_yield"
+  "ablation_mat_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mat_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pds_variants.dir/ablation_pds_variants.cpp.o"
+  "CMakeFiles/ablation_pds_variants.dir/ablation_pds_variants.cpp.o.d"
+  "ablation_pds_variants"
+  "ablation_pds_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pds_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_local_computations.dir/fig4_local_computations.cpp.o"
+  "CMakeFiles/fig4_local_computations.dir/fig4_local_computations.cpp.o.d"
+  "fig4_local_computations"
+  "fig4_local_computations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_local_computations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

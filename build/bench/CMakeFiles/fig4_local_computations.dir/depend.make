@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_local_computations.
+# This may be replaced when dependencies are built.

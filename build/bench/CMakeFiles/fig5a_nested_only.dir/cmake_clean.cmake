@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_nested_only.dir/fig5a_nested_only.cpp.o"
+  "CMakeFiles/fig5a_nested_only.dir/fig5a_nested_only.cpp.o.d"
+  "fig5a_nested_only"
+  "fig5a_nested_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_nested_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

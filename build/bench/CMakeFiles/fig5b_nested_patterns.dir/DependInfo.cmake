@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5b_nested_patterns.cpp" "bench/CMakeFiles/fig5b_nested_patterns.dir/fig5b_nested_patterns.cpp.o" "gcc" "bench/CMakeFiles/fig5b_nested_patterns.dir/fig5b_nested_patterns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/adets_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/adets_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/adets_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/adets_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcs/CMakeFiles/adets_gcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/adets_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adets_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_nested_patterns.dir/fig5b_nested_patterns.cpp.o"
+  "CMakeFiles/fig5b_nested_patterns.dir/fig5b_nested_patterns.cpp.o.d"
+  "fig5b_nested_patterns"
+  "fig5b_nested_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_nested_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_unbounded_buffer.dir/fig6a_unbounded_buffer.cpp.o"
+  "CMakeFiles/fig6a_unbounded_buffer.dir/fig6a_unbounded_buffer.cpp.o.d"
+  "fig6a_unbounded_buffer"
+  "fig6a_unbounded_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_unbounded_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

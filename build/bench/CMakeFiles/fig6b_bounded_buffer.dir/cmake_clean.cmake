@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_bounded_buffer.dir/fig6b_bounded_buffer.cpp.o"
+  "CMakeFiles/fig6b_bounded_buffer.dir/fig6b_bounded_buffer.cpp.o.d"
+  "fig6b_bounded_buffer"
+  "fig6b_bounded_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_bounded_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leader_failover.dir/leader_failover.cpp.o"
+  "CMakeFiles/leader_failover.dir/leader_failover.cpp.o.d"
+  "leader_failover"
+  "leader_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leader_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

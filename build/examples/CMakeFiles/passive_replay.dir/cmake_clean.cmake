@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passive_replay.dir/passive_replay.cpp.o"
+  "CMakeFiles/passive_replay.dir/passive_replay.cpp.o.d"
+  "passive_replay"
+  "passive_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passive_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

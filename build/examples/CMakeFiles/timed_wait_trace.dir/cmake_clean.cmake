@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timed_wait_trace.dir/timed_wait_trace.cpp.o"
+  "CMakeFiles/timed_wait_trace.dir/timed_wait_trace.cpp.o.d"
+  "timed_wait_trace"
+  "timed_wait_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timed_wait_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adets_common.dir/clock.cpp.o"
+  "CMakeFiles/adets_common.dir/clock.cpp.o.d"
+  "CMakeFiles/adets_common.dir/logging.cpp.o"
+  "CMakeFiles/adets_common.dir/logging.cpp.o.d"
+  "libadets_common.a"
+  "libadets_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adets_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

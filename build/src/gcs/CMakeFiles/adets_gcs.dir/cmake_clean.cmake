@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adets_gcs.dir/group_service.cpp.o"
+  "CMakeFiles/adets_gcs.dir/group_service.cpp.o.d"
+  "libadets_gcs.a"
+  "libadets_gcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adets_gcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adets_replication.dir/consistency.cpp.o"
+  "CMakeFiles/adets_replication.dir/consistency.cpp.o.d"
+  "CMakeFiles/adets_replication.dir/replay.cpp.o"
+  "CMakeFiles/adets_replication.dir/replay.cpp.o.d"
+  "libadets_replication.a"
+  "libadets_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adets_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadets_replication.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/client.cpp" "src/runtime/CMakeFiles/adets_runtime.dir/client.cpp.o" "gcc" "src/runtime/CMakeFiles/adets_runtime.dir/client.cpp.o.d"
+  "/root/repo/src/runtime/cluster.cpp" "src/runtime/CMakeFiles/adets_runtime.dir/cluster.cpp.o" "gcc" "src/runtime/CMakeFiles/adets_runtime.dir/cluster.cpp.o.d"
+  "/root/repo/src/runtime/context.cpp" "src/runtime/CMakeFiles/adets_runtime.dir/context.cpp.o" "gcc" "src/runtime/CMakeFiles/adets_runtime.dir/context.cpp.o.d"
+  "/root/repo/src/runtime/replica.cpp" "src/runtime/CMakeFiles/adets_runtime.dir/replica.cpp.o" "gcc" "src/runtime/CMakeFiles/adets_runtime.dir/replica.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adets_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/adets_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcs/CMakeFiles/adets_gcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/adets_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adets_runtime.dir/client.cpp.o"
+  "CMakeFiles/adets_runtime.dir/client.cpp.o.d"
+  "CMakeFiles/adets_runtime.dir/cluster.cpp.o"
+  "CMakeFiles/adets_runtime.dir/cluster.cpp.o.d"
+  "CMakeFiles/adets_runtime.dir/context.cpp.o"
+  "CMakeFiles/adets_runtime.dir/context.cpp.o.d"
+  "CMakeFiles/adets_runtime.dir/replica.cpp.o"
+  "CMakeFiles/adets_runtime.dir/replica.cpp.o.d"
+  "libadets_runtime.a"
+  "libadets_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adets_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

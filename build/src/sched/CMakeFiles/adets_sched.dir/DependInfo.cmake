@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/base.cpp" "src/sched/CMakeFiles/adets_sched.dir/base.cpp.o" "gcc" "src/sched/CMakeFiles/adets_sched.dir/base.cpp.o.d"
+  "/root/repo/src/sched/factory.cpp" "src/sched/CMakeFiles/adets_sched.dir/factory.cpp.o" "gcc" "src/sched/CMakeFiles/adets_sched.dir/factory.cpp.o.d"
+  "/root/repo/src/sched/lsa.cpp" "src/sched/CMakeFiles/adets_sched.dir/lsa.cpp.o" "gcc" "src/sched/CMakeFiles/adets_sched.dir/lsa.cpp.o.d"
+  "/root/repo/src/sched/mat.cpp" "src/sched/CMakeFiles/adets_sched.dir/mat.cpp.o" "gcc" "src/sched/CMakeFiles/adets_sched.dir/mat.cpp.o.d"
+  "/root/repo/src/sched/pds.cpp" "src/sched/CMakeFiles/adets_sched.dir/pds.cpp.o" "gcc" "src/sched/CMakeFiles/adets_sched.dir/pds.cpp.o.d"
+  "/root/repo/src/sched/sat.cpp" "src/sched/CMakeFiles/adets_sched.dir/sat.cpp.o" "gcc" "src/sched/CMakeFiles/adets_sched.dir/sat.cpp.o.d"
+  "/root/repo/src/sched/seq.cpp" "src/sched/CMakeFiles/adets_sched.dir/seq.cpp.o" "gcc" "src/sched/CMakeFiles/adets_sched.dir/seq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adets_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

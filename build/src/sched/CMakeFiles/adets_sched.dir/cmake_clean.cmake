@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adets_sched.dir/base.cpp.o"
+  "CMakeFiles/adets_sched.dir/base.cpp.o.d"
+  "CMakeFiles/adets_sched.dir/factory.cpp.o"
+  "CMakeFiles/adets_sched.dir/factory.cpp.o.d"
+  "CMakeFiles/adets_sched.dir/lsa.cpp.o"
+  "CMakeFiles/adets_sched.dir/lsa.cpp.o.d"
+  "CMakeFiles/adets_sched.dir/mat.cpp.o"
+  "CMakeFiles/adets_sched.dir/mat.cpp.o.d"
+  "CMakeFiles/adets_sched.dir/pds.cpp.o"
+  "CMakeFiles/adets_sched.dir/pds.cpp.o.d"
+  "CMakeFiles/adets_sched.dir/sat.cpp.o"
+  "CMakeFiles/adets_sched.dir/sat.cpp.o.d"
+  "CMakeFiles/adets_sched.dir/seq.cpp.o"
+  "CMakeFiles/adets_sched.dir/seq.cpp.o.d"
+  "libadets_sched.a"
+  "libadets_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adets_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adets_transport.dir/network.cpp.o"
+  "CMakeFiles/adets_transport.dir/network.cpp.o.d"
+  "libadets_transport.a"
+  "libadets_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adets_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

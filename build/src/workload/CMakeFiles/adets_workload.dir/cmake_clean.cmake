@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adets_workload.dir/kvstore.cpp.o"
+  "CMakeFiles/adets_workload.dir/kvstore.cpp.o.d"
+  "CMakeFiles/adets_workload.dir/objects.cpp.o"
+  "CMakeFiles/adets_workload.dir/objects.cpp.o.d"
+  "libadets_workload.a"
+  "libadets_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adets_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_contract_test.dir/api_contract_test.cpp.o"
+  "CMakeFiles/api_contract_test.dir/api_contract_test.cpp.o.d"
+  "api_contract_test"
+  "api_contract_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/determinism_property_test.dir/determinism_property_test.cpp.o"
+  "CMakeFiles/determinism_property_test.dir/determinism_property_test.cpp.o.d"
+  "determinism_property_test"
+  "determinism_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/determinism_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

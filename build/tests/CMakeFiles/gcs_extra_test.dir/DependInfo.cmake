@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gcs_extra_test.cpp" "tests/CMakeFiles/gcs_extra_test.dir/gcs_extra_test.cpp.o" "gcc" "tests/CMakeFiles/gcs_extra_test.dir/gcs_extra_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gcs/CMakeFiles/adets_gcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/adets_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adets_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
