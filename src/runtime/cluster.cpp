@@ -30,6 +30,13 @@ void Cluster::stop() {
 GroupId Cluster::create_group(int replicas, sched::SchedulerKind kind,
                               ObjectFactory factory,
                               sched::SchedulerConfig sched_config) {
+  return create_group(
+      replicas, [kind, sched_config] { return sched::make_scheduler(kind, sched_config); },
+      std::move(factory));
+}
+
+GroupId Cluster::create_group(int replicas, const SchedulerFactory& scheduler_factory,
+                              ObjectFactory factory) {
   auto handle = std::make_unique<GroupHandle>();
   handle->id = GroupId(next_group_++);
   for (int i = 0; i < replicas; ++i) handle->nodes.push_back(net_->create_node());
@@ -40,8 +47,8 @@ GroupId Cluster::create_group(int replicas, sched::SchedulerKind kind,
   }
   for (int i = 0; i < replicas; ++i) {
     handle->replicas.push_back(std::make_unique<Replica>(
-        *handle->services[i], handle->id, handle->nodes,
-        sched::make_scheduler(kind, sched_config), factory(), directory_));
+        *handle->services[i], handle->id, handle->nodes, scheduler_factory(),
+        factory(), directory_));
   }
   const GroupId id = handle->id;
   groups_.push_back(std::move(handle));

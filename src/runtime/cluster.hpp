@@ -18,6 +18,10 @@ struct ClusterConfig {
   std::uint64_t seed = 1;
 };
 
+/// Produces one scheduler instance per replica; lets tests plug custom
+/// (e.g. deliberately nondeterministic) schedulers into a group.
+using SchedulerFactory = std::function<std::unique_ptr<sched::Scheduler>()>;
+
 class Cluster {
  public:
   explicit Cluster(ClusterConfig config = {});
@@ -31,6 +35,10 @@ class Cluster {
   common::GroupId create_group(int replicas, sched::SchedulerKind kind,
                                ObjectFactory factory,
                                sched::SchedulerConfig sched_config = {});
+
+  /// Same, but each replica's scheduler comes from `scheduler_factory`.
+  common::GroupId create_group(int replicas, const SchedulerFactory& scheduler_factory,
+                               ObjectFactory factory);
 
   /// Creates a client on its own simulated node, already connected to
   /// every existing group.

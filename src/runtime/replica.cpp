@@ -121,7 +121,15 @@ void Replica::on_view(const gcs::View& view) {
 
 // --- SchedulerEnv ------------------------------------------------------------------
 
+std::optional<Replica::AuditSnapshot> Replica::try_audit_snapshot() {
+  std::unique_lock<std::shared_mutex> guard(audit_mutex_, std::try_to_lock);
+  if (!guard.owns_lock()) return std::nullopt;
+  return AuditSnapshot{object_->state_hash(),
+                       applied_.load(std::memory_order_acquire)};
+}
+
 void Replica::execute(const sched::Request& request) {
+  const std::shared_lock<std::shared_mutex> audit_guard(audit_mutex_);
   Reader r(request.payload);
   RequestMessage message;
   try {
@@ -147,6 +155,7 @@ void Replica::execute(const sched::Request& request) {
                                << " threw: " << e.what();
     result.clear();
   }
+  applied_.fetch_add(1, std::memory_order_release);
   send_reply(message, result);
 }
 

@@ -7,10 +7,13 @@
 // invocation, enforce at-most-once semantics and send the reply.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -94,6 +97,21 @@ class Replica : private sched::SchedulerEnv, public InvocationHost {
     return scheduler_->completed_requests();
   }
 
+  /// One quiescent observation of this replica, for divergence auditing.
+  struct AuditSnapshot {
+    std::uint64_t state_hash = 0;
+    /// Application requests fully applied to the object — identifies the
+    /// prefix of the total order this hash corresponds to.
+    std::uint64_t applied = 0;
+  };
+
+  /// Captures state hash + applied count, but only if no request is
+  /// mid-execution (auditing a live object while a method mutates it
+  /// would race).  Executions hold a shared lock for their whole
+  /// dispatch; this try-locks exclusively and never blocks, so a busy
+  /// (or parked-in-wait) replica simply yields nullopt.
+  [[nodiscard]] std::optional<AuditSnapshot> try_audit_snapshot();
+
   /// Starts recording this replica's delivered event stream (post
   /// at-most-once filtering) for later re-execution.
   void set_event_log(std::shared_ptr<EventLog> log) {
@@ -137,6 +155,12 @@ class Replica : private sched::SchedulerEnv, public InvocationHost {
   std::set<std::uint32_t> connected_groups_;
   std::shared_ptr<EventLog> event_log_;
   bool stopped_ = false;
+
+  /// Shared: held by execute() around every dispatch.  Exclusive:
+  /// try-taken by try_audit_snapshot().  Never blocking-locked
+  /// exclusively, so readers are never throttled by a waiting writer.
+  std::shared_mutex audit_mutex_;
+  std::atomic<std::uint64_t> applied_{0};
 };
 
 }  // namespace adets::runtime

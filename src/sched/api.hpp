@@ -109,6 +109,30 @@ struct GrantRecord {
   friend bool operator==(const GrantRecord&, const GrantRecord&) = default;
 };
 
+/// One entry of the bounded decision-trace ring: the scheduling verdicts
+/// that must resolve identically on every replica (lock grants, condvar
+/// wakeup order, timeout resolutions).  Dumped by the divergence auditor
+/// when replicas disagree, so an operator can see *where* the strategies
+/// parted ways, not just that the state hashes differ.
+struct Decision {
+  enum class Kind : std::uint8_t {
+    kLockGrant,     // base-level mutex acquisition granted to `thread`
+    kCvWakeup,      // wait() returned notified
+    kCvTimeout,     // wait() resolved by its timeout event
+    kStaleTimeout,  // timeout message ignored (generation already stale)
+    kNotify,        // notify_one/notify_all issued by `thread`
+  };
+  Kind kind = Kind::kLockGrant;
+  std::uint64_t seq = 0;  // per-scheduler monotone decision number
+  common::MutexId mutex;
+  common::CondVarId condvar;
+  common::ThreadId thread;
+  std::uint64_t generation = 0;  // wait generation (condvar kinds)
+  friend bool operator==(const Decision&, const Decision&) = default;
+};
+
+[[nodiscard]] std::string to_string(const Decision& decision);
+
 /// Services the hosting runtime provides to a scheduler.
 class SchedulerEnv {
  public:
@@ -187,6 +211,10 @@ class Scheduler {
   virtual void set_trace(bool enabled) = 0;
   [[nodiscard]] virtual std::vector<GrantRecord> grant_trace() const = 0;
 
+  /// Recent scheduling decisions, oldest first (bounded ring; always on).
+  /// Default: no trace, so minimal/experimental schedulers still compile.
+  [[nodiscard]] virtual std::vector<Decision> decision_trace() const { return {}; }
+
   /// Number of requests whose execution completed (drain detection).
   [[nodiscard]] virtual std::uint64_t completed_requests() const = 0;
 
@@ -208,6 +236,8 @@ struct SchedulerConfig {
   std::size_t lsa_batch_grants = 1;         // grants per mutex-table broadcast
   common::Duration lsa_batch_delay = common::Duration::zero();  // max batching delay (real)
   bool lsa_dynamic_mutex_ids = true;        // ADETS-LSA dynamic registration
+  // Diagnostics ---------------------------------------------------------
+  std::size_t decision_trace_capacity = 256;  // decision ring size (0 = off)
 };
 
 /// Factory used by the runtime and benches.

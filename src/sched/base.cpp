@@ -159,6 +159,9 @@ WaitResult SchedulerBase::wait(MutexId mutex, CondVarId condvar, Duration timeou
     arm_wait_timer(t, mutex, condvar, generation, timeout);
   }
   const WaitResult result = base_wait(lk, t, mutex, condvar, generation, timeout);
+  record_decision(result.notified ? Decision::Kind::kCvWakeup
+                                  : Decision::Kind::kCvTimeout,
+                  mutex, condvar, t.id, generation);
   ReentrantState& r2 = reentrant_[mutex.value()];
   r2.owner = t.logical;
   r2.count = saved_count;
@@ -177,6 +180,7 @@ void SchedulerBase::notify_one(MutexId mutex, CondVarId condvar) {
     throw std::logic_error("notify requires holding the mutex");
   }
   stats_.notifies++;
+  record_decision(Decision::Kind::kNotify, mutex, condvar, t.id);
   base_notify(lk, t, mutex, condvar, /*all=*/false);
 }
 
@@ -189,6 +193,7 @@ void SchedulerBase::notify_all(MutexId mutex, CondVarId condvar) {
     throw std::logic_error("notify requires holding the mutex");
   }
   stats_.notifies++;
+  record_decision(Decision::Kind::kNotify, mutex, condvar, t.id);
   base_notify(lk, t, mutex, condvar, /*all=*/true);
 }
 
@@ -239,7 +244,10 @@ std::vector<GrantRecord> SchedulerBase::grant_trace() const {
 }
 
 std::uint64_t SchedulerBase::completed_requests() const {
-  return completed_.load(std::memory_order_relaxed);
+  // Acquire pairs with the release increment: a caller that observed
+  // completion (e.g. a drain loop about to tear state down) also
+  // observes everything the request body wrote.
+  return completed_.load(std::memory_order_acquire);
 }
 
 SchedulerStats SchedulerBase::stats() const {
@@ -250,6 +258,65 @@ SchedulerStats SchedulerBase::stats() const {
 void SchedulerBase::record_grant(MutexId mutex, ThreadId thread) {
   stats_.lock_grants++;
   if (trace_enabled_) trace_.push_back(GrantRecord{mutex, thread});
+  record_decision(Decision::Kind::kLockGrant, mutex, CondVarId::invalid(), thread);
+}
+
+void SchedulerBase::record_decision(Decision::Kind kind, MutexId mutex,
+                                    CondVarId condvar, ThreadId thread,
+                                    std::uint64_t generation) {
+  const std::size_t capacity = config_.decision_trace_capacity;
+  if (capacity == 0) return;
+  Decision decision{kind, decision_seq_, mutex, condvar, thread, generation};
+  if (decision_ring_.size() < capacity) {
+    decision_ring_.push_back(decision);
+  } else {
+    decision_ring_[decision_seq_ % capacity] = decision;
+  }
+  decision_seq_++;
+}
+
+std::vector<Decision> SchedulerBase::decision_trace() const {
+  const std::lock_guard<std::mutex> guard(mon_);
+  std::vector<Decision> out;
+  out.reserve(decision_ring_.size());
+  const std::size_t capacity = config_.decision_trace_capacity;
+  if (decision_ring_.size() < capacity || capacity == 0) {
+    out = decision_ring_;
+  } else {
+    for (std::size_t i = 0; i < capacity; ++i) {
+      out.push_back(decision_ring_[(decision_seq_ + i) % capacity]);
+    }
+  }
+  return out;
+}
+
+std::string to_string(const Decision& decision) {
+  std::string out = "#" + std::to_string(decision.seq) + " ";
+  switch (decision.kind) {
+    case Decision::Kind::kLockGrant:
+      out += "grant m" + std::to_string(decision.mutex.value()) + " -> t" +
+             std::to_string(decision.thread.value());
+      break;
+    case Decision::Kind::kCvWakeup:
+      out += "wakeup t" + std::to_string(decision.thread.value()) + " cv" +
+             std::to_string(decision.condvar.value()) + " gen" +
+             std::to_string(decision.generation);
+      break;
+    case Decision::Kind::kCvTimeout:
+      out += "timeout t" + std::to_string(decision.thread.value()) + " cv" +
+             std::to_string(decision.condvar.value()) + " gen" +
+             std::to_string(decision.generation);
+      break;
+    case Decision::Kind::kStaleTimeout:
+      out += "stale-timeout t" + std::to_string(decision.thread.value()) + " gen" +
+             std::to_string(decision.generation);
+      break;
+    case Decision::Kind::kNotify:
+      out += "notify by t" + std::to_string(decision.thread.value()) + " cv" +
+             std::to_string(decision.condvar.value());
+      break;
+  }
+  return out;
 }
 
 // --- thread machinery -----------------------------------------------------------
@@ -340,7 +407,7 @@ void SchedulerBase::run_request_body(ThreadRecord& t, const Request& request) {
   switch (request.kind) {
     case RequestKind::kApplication:
       env_->execute(request);
-      completed_.fetch_add(1, std::memory_order_relaxed);
+      completed_.fetch_add(1, std::memory_order_release);
       break;
     case RequestKind::kTimeout: {
       // Paper Sec. 4.2: "This message is handled by a normal
@@ -354,6 +421,12 @@ void SchedulerBase::run_request_body(ThreadRecord& t, const Request& request) {
                                   request.timeout.condvar, request.timeout.thread,
                                   request.timeout.generation)) {
           stats_.timeouts_fired++;
+        } else {
+          // The waiter was already notified (or resumed by an earlier
+          // copy): a stale generation must no-op identically everywhere.
+          record_decision(Decision::Kind::kStaleTimeout, request.timeout.mutex,
+                          request.timeout.condvar, request.timeout.thread,
+                          request.timeout.generation);
         }
       }
       this->unlock(request.timeout.mutex);

@@ -72,6 +72,7 @@ class SchedulerBase : public Scheduler {
 
   void set_trace(bool enabled) override;
   [[nodiscard]] std::vector<GrantRecord> grant_trace() const override;
+  [[nodiscard]] std::vector<Decision> decision_trace() const override;
   [[nodiscard]] std::uint64_t completed_requests() const override;
   [[nodiscard]] SchedulerStats stats() const override;
 
@@ -174,6 +175,11 @@ class SchedulerBase : public Scheduler {
 
   void record_grant(common::MutexId mutex, common::ThreadId thread);
 
+  /// Appends to the bounded decision ring (mon_ must be held).
+  void record_decision(Decision::Kind kind, common::MutexId mutex,
+                       common::CondVarId condvar, common::ThreadId thread,
+                       std::uint64_t generation = 0);
+
   /// Executes one work item (application request or timeout handler) on
   /// the calling scheduler thread.  mon_ must NOT be held.
   void run_request_body(ThreadRecord& t, const Request& request);
@@ -208,9 +214,11 @@ class SchedulerBase : public Scheduler {
   };
   std::unordered_map<std::uint64_t, ReentrantState> reentrant_;
 
-  // Tracing and counters (both guarded by mon_).
+  // Tracing and counters (all guarded by mon_).
   bool trace_enabled_ = false;
   std::vector<GrantRecord> trace_;
+  std::vector<Decision> decision_ring_;  // bounded; decision_seq_ indexes it
+  std::uint64_t decision_seq_ = 0;
   SchedulerStats stats_;
 
   std::unique_ptr<common::TimerService> timer_;

@@ -54,20 +54,56 @@ bool SimNetwork::send(NodeId src, NodeId dst, common::Bytes payload) {
     stats_.messages_dropped++;
     return false;
   }
+
+  // Fault layer: one reproducible verdict per (link, message index).
+  const auto key = std::make_pair(src.value(), dst.value());
+  FaultDecision fault;
+  if (fault_plan_armed_) {
+    fault = decide_fault(fault_plan_, src, dst, fault_counters_[key]++);
+    fault_trace_[key].push_back(fault);
+    if (fault.dropped) {
+      stats_.messages_dropped++;
+      return false;
+    }
+  }
+
   Duration latency = common::Clock::scaled(link.base_latency);
   if (link.jitter.count() > 0) {
     const auto jitter_ns = common::Clock::scaled(link.jitter).count();
     latency += Duration(static_cast<Duration::rep>(
         rng_.uniform(0, static_cast<std::uint64_t>(jitter_ns))));
   }
+  if (fault.extra_delay_ns > 0) {
+    latency += common::Clock::scaled(Duration(fault.extra_delay_ns));
+    stats_.messages_fault_delayed++;
+  }
   TimePoint due = now + latency;
-  // Preserve FIFO per directed link even when jitter would reorder.
-  const auto key = std::make_pair(src.value(), dst.value());
-  auto it = last_scheduled_.find(key);
-  if (it != last_scheduled_.end() && due < it->second) due = it->second;
-  last_scheduled_[key] = due;
+  if (fault.reordered) {
+    // Bounded reordering: hold the message back far enough for up to
+    // reorder_span in-window successors to overtake, exempt it from the
+    // FIFO clamp, and leave the FIFO horizon untouched so successors are
+    // not dragged behind it.
+    const auto span = fault_plan_.faults_for(src, dst).reorder_span;
+    due += common::Clock::scaled((link.base_latency + link.jitter) * span);
+    stats_.messages_reordered++;
+  } else {
+    // Preserve FIFO per directed link even when jitter would reorder.
+    auto it = last_scheduled_.find(key);
+    if (it != last_scheduled_.end() && due < it->second) due = it->second;
+    last_scheduled_[key] = due;
+  }
 
-  heap_.push_back(Pending{due, next_seq_++, Message{src, dst, std::move(payload)}});
+  if (fault.duplicated) {
+    // The trailing copy is delivered one base latency later and does not
+    // advance the FIFO horizon (a late duplicate, as on a retransmitting
+    // real network); dedup is the upper layers' job.
+    stats_.messages_duplicated++;
+    heap_.push_back(Pending{due + common::Clock::scaled(link.base_latency),
+                            next_seq_++, Message{src, dst, payload}, std::nullopt});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+  heap_.push_back(
+      Pending{due, next_seq_++, Message{src, dst, std::move(payload)}, std::nullopt});
   std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   heap_cv_.notify_one();
   return true;
@@ -80,10 +116,47 @@ void SimNetwork::set_link(NodeId src, NodeId dst, LinkConfig config) {
 
 void SimNetwork::crash(NodeId node) {
   const std::lock_guard<std::mutex> guard(mutex_);
-  if (node.value() < nodes_.size()) {
-    nodes_[node.value()]->crashed.store(true);
-    ADETS_LOG_INFO("net") << "node " << node << " crashed";
+  apply_node_event(NodeEvent{common::Duration::zero(), node, NodeEvent::Kind::kCrash});
+}
+
+void SimNetwork::restart(NodeId node) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  apply_node_event(NodeEvent{common::Duration::zero(), node, NodeEvent::Kind::kRestart});
+}
+
+void SimNetwork::apply_node_event(const NodeEvent& event) {
+  if (event.node.value() >= nodes_.size()) return;
+  Node& node = *nodes_[event.node.value()];
+  if (event.kind == NodeEvent::Kind::kCrash) {
+    if (node.crashed.exchange(true)) return;
+    stats_.node_crashes++;
+    ADETS_LOG_INFO("net") << "node " << event.node << " crashed";
+  } else {
+    if (!node.crashed.exchange(false)) return;
+    stats_.node_restarts++;
+    ADETS_LOG_INFO("net") << "node " << event.node << " restarted";
   }
+}
+
+void SimNetwork::set_fault_plan(FaultPlan plan) {
+  const auto now = common::Clock::now();
+  const std::lock_guard<std::mutex> guard(mutex_);
+  if (stopping_) return;
+  fault_plan_ = std::move(plan);
+  fault_plan_armed_ = true;
+  fault_counters_.clear();
+  fault_trace_.clear();
+  for (const auto& event : fault_plan_.node_events) {
+    heap_.push_back(Pending{now + common::Clock::scaled(event.at), next_seq_++,
+                            Message{}, event});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+  heap_cv_.notify_one();
+}
+
+FaultTrace SimNetwork::fault_trace() const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  return fault_trace_;
 }
 
 bool SimNetwork::crashed(NodeId node) const {
@@ -140,6 +213,10 @@ void SimNetwork::dispatcher_loop() {
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
     Pending item = std::move(heap_.back());
     heap_.pop_back();
+    if (item.node_event) {
+      apply_node_event(*item.node_event);
+      continue;
+    }
     Node* dst = nodes_[item.message.dst.value()].get();
     if (dst->crashed.load()) {
       stats_.messages_dropped++;

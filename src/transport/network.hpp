@@ -20,12 +20,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "common/blocking_queue.hpp"
 #include "common/clock.hpp"
 #include "common/rng.hpp"
+#include "transport/fault.hpp"
 #include "transport/message.hpp"
 
 namespace adets::transport {
@@ -46,6 +48,12 @@ struct NetworkStats {
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;
   std::uint64_t bytes_sent = 0;
+  // Fault-injection counters (all zero without an armed FaultPlan).
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t messages_reordered = 0;
+  std::uint64_t messages_fault_delayed = 0;
+  std::uint64_t node_crashes = 0;
+  std::uint64_t node_restarts = 0;
 };
 
 /// The simulated network fabric.  Thread-safe.
@@ -77,7 +85,18 @@ class SimNetwork {
   /// Crashes a node: all traffic to and from it is dropped from now on.
   void crash(common::NodeId node);
 
+  /// Revives a crashed node: traffic flows again (messages lost while
+  /// down stay lost; upper layers must repair via retransmission).
+  void restart(common::NodeId node);
+
   [[nodiscard]] bool crashed(common::NodeId node) const;
+
+  /// Arms `plan` now: link faults apply to every subsequent send, node
+  /// events fire at their paper-time offsets from this instant.
+  void set_fault_plan(FaultPlan plan);
+
+  /// Per-link fault verdicts recorded since the plan was armed.
+  [[nodiscard]] FaultTrace fault_trace() const;
 
   [[nodiscard]] NetworkStats stats() const;
 
@@ -97,6 +116,8 @@ class SimNetwork {
     common::TimePoint due;
     std::uint64_t seq;  // tie-break, preserves send order
     Message message;
+    /// Set for scheduled FaultPlan crash/restart entries (message unused).
+    std::optional<NodeEvent> node_event;
     friend bool operator>(const Pending& a, const Pending& b) {
       return a.due != b.due ? a.due > b.due : a.seq > b.seq;
     }
@@ -104,6 +125,7 @@ class SimNetwork {
 
   void dispatcher_loop();
   void node_loop(Node& node);
+  void apply_node_event(const NodeEvent& event);  // mutex_ held
   LinkConfig link_for(common::NodeId src, common::NodeId dst) const;
 
   LinkConfig default_link_;
@@ -116,6 +138,11 @@ class SimNetwork {
   std::uint64_t next_seq_ = 0;
   common::Rng rng_;
   NetworkStats stats_;
+  // Fault injection (all guarded by mutex_).
+  FaultPlan fault_plan_;
+  bool fault_plan_armed_ = false;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> fault_counters_;
+  FaultTrace fault_trace_;
   bool stopping_ = false;
   std::thread dispatcher_;
 };

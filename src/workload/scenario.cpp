@@ -1,0 +1,127 @@
+#include "workload/scenario.hpp"
+
+#include <atomic>
+#include <optional>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "workload/kvstore.hpp"
+
+namespace adets::workload {
+
+using common::GroupId;
+
+namespace {
+
+/// One client thread's slice of the canonical workload: a seeded mix of
+/// put/cas/remove/get/size over a small key space.  Only lock/unlock and
+/// notify are exercised, so the same workload is valid for all six
+/// strategies (SEQ/SL have no condition-variable support; watch-based
+/// scenarios live in the fault-injection tests, gated to capable kinds).
+void run_client(runtime::Client& client, GroupId group, std::uint64_t seed,
+                int client_index, int requests,
+                std::chrono::milliseconds invoke_timeout) {
+  common::Rng rng(seed, static_cast<std::uint64_t>(client_index));
+  for (int i = 0; i < requests; ++i) {
+    const std::string key = "k" + std::to_string(rng.uniform(0, 7));
+    const std::string value =
+        "c" + std::to_string(client_index) + "v" + std::to_string(i);
+    switch (rng.uniform(0, 9)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+        client.invoke(group, "put", KvStore::pack_put(key, value), invoke_timeout);
+        break;
+      case 4:
+      case 5:
+        client.invoke(group, "cas",
+                      KvStore::pack_cas(key, "c0v0", value), invoke_timeout);
+        break;
+      case 6:
+        client.invoke(group, "remove", KvStore::pack_key(key), invoke_timeout);
+        break;
+      case 7:
+        client.invoke(group, "size", {}, invoke_timeout);
+        break;
+      default:
+        client.invoke(group, "get", KvStore::pack_key(key), invoke_timeout);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<sched::SchedulerKind> all_scheduler_kinds() {
+  return {sched::SchedulerKind::kSeq, sched::SchedulerKind::kSl,
+          sched::SchedulerKind::kSat, sched::SchedulerKind::kMat,
+          sched::SchedulerKind::kLsa, sched::SchedulerKind::kPds};
+}
+
+ScenarioResult run_scenario(sched::SchedulerKind kind, const ScenarioConfig& config) {
+  const sched::SchedulerConfig sched_config = config.sched;
+  return run_scenario(
+      [kind, sched_config] { return sched::make_scheduler(kind, sched_config); },
+      config);
+}
+
+ScenarioResult run_scenario(const runtime::SchedulerFactory& scheduler_factory,
+                            const ScenarioConfig& config) {
+  ScenarioResult result;
+  runtime::Cluster cluster;
+  const GroupId group = cluster.create_group(
+      config.replicas, scheduler_factory, [] { return std::make_unique<KvStore>(); });
+  std::vector<runtime::Client*> clients;
+  clients.reserve(static_cast<std::size_t>(config.clients));
+  for (int c = 0; c < config.clients; ++c) clients.push_back(&cluster.create_client());
+
+  cluster.network().set_fault_plan(config.faults);
+
+  std::optional<repl::DivergenceAuditor> auditor;
+  if (config.audit_period > common::Duration::zero()) {
+    auditor.emplace(cluster, group);
+    auditor->start(config.audit_period);
+  }
+
+  // A client whose invocation times out (e.g. under a total-loss plan)
+  // aborts its remaining requests; the scenario still returns a result
+  // with drained=false instead of letting the exception kill the thread.
+  std::atomic<std::uint64_t> clients_failed{0};
+  std::vector<std::thread> workers;
+  workers.reserve(clients.size());
+  for (int c = 0; c < config.clients; ++c) {
+    workers.emplace_back([&, c] {
+      try {
+        run_client(*clients[static_cast<std::size_t>(c)], group,
+                   config.workload_seed, c, config.requests_per_client,
+                   config.invoke_timeout);
+      } catch (const std::exception&) {
+        clients_failed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  result.clients_failed = clients_failed.load(std::memory_order_relaxed);
+
+  const auto total = static_cast<std::uint64_t>(config.clients) *
+                     static_cast<std::uint64_t>(config.requests_per_client);
+  result.drained = cluster.wait_drained(group, total, config.drain_timeout);
+
+  if (auditor) {
+    auditor->stop();
+    result.background_audits = auditor->audits_run();
+    result.background_divergence = auditor->divergence_detected();
+  }
+
+  result.audit = repl::audit_group(cluster, group);
+  result.converged = !result.audit.replicas.empty() && !result.audit.diverged;
+  for (const auto& snapshot : result.audit.replicas) {
+    result.state_hashes.push_back(snapshot.state_hash);
+  }
+  result.fault_digest = transport::fault_trace_digest(cluster.network().fault_trace());
+  result.net = cluster.network().stats();
+  return result;
+}
+
+}  // namespace adets::workload

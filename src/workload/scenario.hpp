@@ -1,0 +1,68 @@
+// Fault-injection scenario runner.
+//
+// Executes one canonical seeded KvStore workload against a replica
+// group running an arbitrary scheduler — by SchedulerKind or through a
+// custom SchedulerFactory — under a transport::FaultPlan, then audits
+// the group for divergence.  This is the harness the fault-injection
+// and divergence-audit tests are built on, and the convergence gate
+// later performance PRs are validated against: every strategy must
+// reach one state hash on every replica under every fault seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "replication/audit.hpp"
+#include "runtime/cluster.hpp"
+#include "transport/fault.hpp"
+
+namespace adets::workload {
+
+struct ScenarioConfig {
+  int replicas = 3;
+  /// Concurrent client threads; keep 1 when comparing *final hashes
+  /// across runs* (a single submission order makes the end state a pure
+  /// function of the workload seed).
+  int clients = 2;
+  int requests_per_client = 12;
+  std::uint64_t workload_seed = 1;
+  /// Armed on the cluster's network before traffic starts.
+  transport::FaultPlan faults;
+  sched::SchedulerConfig sched;
+  /// >0: run a DivergenceAuditor polling at this real-time period
+  /// concurrently with the workload.
+  common::Duration audit_period = common::Duration::zero();
+  std::chrono::milliseconds drain_timeout = std::chrono::seconds(120);
+  /// Per-invocation client timeout (real time).  Lower it for plans
+  /// that are expected to starve clients (e.g. total loss).
+  std::chrono::milliseconds invoke_timeout = std::chrono::seconds(60);
+};
+
+struct ScenarioResult {
+  bool drained = false;
+  /// All live replicas reached the same state hash.
+  bool converged = false;
+  std::vector<std::uint64_t> state_hashes;
+  repl::AuditReport audit;  // final one-shot audit (post drain)
+  /// Digest of the per-link fault decision streams of this run.
+  std::uint64_t fault_digest = 0;
+  transport::NetworkStats net;
+  std::uint64_t background_audits = 0;
+  bool background_divergence = false;
+  /// Clients whose invocation timed out (the scenario still returns a
+  /// result with drained=false rather than propagating the failure).
+  std::uint64_t clients_failed = 0;
+};
+
+/// Runs the canonical workload under `kind`.
+ScenarioResult run_scenario(sched::SchedulerKind kind, const ScenarioConfig& config);
+
+/// Runs it under a caller-supplied scheduler factory (e.g. a broken
+/// scheduler used as the auditor's negative control).
+ScenarioResult run_scenario(const runtime::SchedulerFactory& scheduler_factory,
+                            const ScenarioConfig& config);
+
+/// All six strategies of the paper, in survey order.
+[[nodiscard]] std::vector<sched::SchedulerKind> all_scheduler_kinds();
+
+}  // namespace adets::workload

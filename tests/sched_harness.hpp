@@ -101,10 +101,15 @@ class SchedulerCluster {
   ~SchedulerCluster() { stop(); }
 
   void stop() {
+    std::vector<std::thread> reply_threads;
     {
       const std::lock_guard<std::mutex> guard(mutex_);
       if (stopped_) return;
       stopped_ = true;
+      reply_threads.swap(auto_reply_threads_);
+    }
+    for (auto& t : reply_threads) {
+      if (t.joinable()) t.join();
     }
     bus_.close();
     if (bus_thread_.joinable()) bus_thread_.join();
@@ -192,19 +197,15 @@ class SchedulerCluster {
   }
 
   void on_nested_started(std::uint64_t nested_id) {
-    bool auto_reply;
-    common::Duration delay;
-    {
-      const std::lock_guard<std::mutex> guard(mutex_);
-      auto_reply = auto_reply_;
-      delay = auto_reply_delay_;
-      if (auto_reply_ && !pending_auto_replies_.insert(nested_id).second) return;
-    }
-    if (!auto_reply) return;
-    std::thread([this, nested_id, delay] {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    if (!auto_reply_ || stopped_) return;
+    if (!pending_auto_replies_.insert(nested_id).second) return;
+    const common::Duration delay = auto_reply_delay_;
+    // Joined in stop(), so a straggler can't outlive the bus.
+    auto_reply_threads_.emplace_back([this, nested_id, delay] {
       common::Clock::sleep_real(delay);
       deliver_reply(nested_id);
-    }).detach();
+    });
   }
 
   [[nodiscard]] std::vector<common::NodeId> members() const { return members_; }
@@ -274,6 +275,7 @@ class SchedulerCluster {
   bool auto_reply_ = false;
   common::Duration auto_reply_delay_ = common::Duration::zero();
   std::set<std::uint64_t> pending_auto_replies_;
+  std::vector<std::thread> auto_reply_threads_;
   bool stopped_ = false;
 };
 

@@ -90,7 +90,7 @@ TEST(TimerServiceTest, ManyConcurrentSchedules) {
 }
 
 TEST(WatchdogDeathTest, AbortsOnExpiry) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   EXPECT_DEATH(
       {
         Watchdog dog("test watchdog", milliseconds(10));
