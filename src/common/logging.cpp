@@ -7,6 +7,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "common/clock.hpp"
+
 namespace adets::common {
 
 namespace {
@@ -47,7 +49,7 @@ void set_log_level(LogLevel level) {
 
 void log_line(LogLevel level, const std::string& component, const std::string& message) {
   static std::mutex io_mutex;
-  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  const auto now = Clock::now().time_since_epoch();
   const auto us = std::chrono::duration_cast<std::chrono::microseconds>(now).count();
   const std::lock_guard<std::mutex> guard(io_mutex);
   std::fprintf(stderr, "[%12lld] %s [%s] %s\n", static_cast<long long>(us),

@@ -1,0 +1,162 @@
+// Capability-annotated mutex / condition-variable wrappers.
+//
+// The ADETS monitors (scheduler, GCS, replica, network) use these
+// instead of raw std::mutex / std::condition_variable so that
+//  1. clang's -Wthread-safety can check which functions run under which
+//     monitor (see common/annotations.hpp and docs/static-analysis.md);
+//  2. the debug lock-order validator (common/lock_order.hpp) observes
+//     every acquisition when the build defines ADETS_LOCK_ORDER_CHECK;
+//  3. detlint's raw-mutex rule has a sanctioned replacement to point at.
+//
+// CondVar waits release and reacquire the underlying std::mutex through
+// the std::unique_lock that MutexLock manages, bypassing the lock-order
+// hooks.  That is intentional: a thread blocked in wait acquires nothing
+// else, so treating the monitor as continuously held adds no false
+// ordering edges and keeps the relock cheap.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.hpp"
+#include "common/clock.hpp"
+#ifdef ADETS_LOCK_ORDER_CHECK
+#include "common/lock_order.hpp"
+#endif
+
+namespace adets::common {
+
+/// An annotated, optionally order-checked std::mutex.
+class ADETS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  /// `name` appears in lock-order cycle reports; pass a string literal.
+  explicit Mutex(const char* name) : name_(name) {}
+
+  ~Mutex() {
+#ifdef ADETS_LOCK_ORDER_CHECK
+    lock_order::on_destroy(this);
+#endif
+  }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ADETS_ACQUIRE() {
+#ifdef ADETS_LOCK_ORDER_CHECK
+    lock_order::on_acquire(this, name_);
+#endif
+    m_.lock();
+  }
+
+  void unlock() ADETS_RELEASE() {
+    m_.unlock();
+#ifdef ADETS_LOCK_ORDER_CHECK
+    lock_order::on_release(this);
+#endif
+  }
+
+  bool try_lock() ADETS_TRY_ACQUIRE(true) {
+    const bool ok = m_.try_lock();
+#ifdef ADETS_LOCK_ORDER_CHECK
+    if (ok) lock_order::on_try_acquire(this, name_);
+#endif
+    return ok;
+  }
+
+  /// The wrapped mutex, for CondVar and std interop.  Locking through
+  /// the native handle bypasses the analysis and the order checker;
+  /// only MutexLock/CondVar may do so.
+  std::mutex& native_handle() { return m_; }
+
+  [[nodiscard]] const char* name() const { return name_; }
+
+ private:
+  std::mutex m_;
+  const char* name_ = "mutex";
+};
+
+/// Scoped lock over Mutex, usable with CondVar.  Supports explicit
+/// unlock()/lock() for monitor code that drops the lock around a
+/// callback (e.g. PDS broadcasting while unlocked).
+class ADETS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ADETS_ACQUIRE(mu) : mu_(&mu) {
+    mu_->lock();
+    lk_ = std::unique_lock<std::mutex>(mu_->native_handle(), std::adopt_lock);
+  }
+
+  ~MutexLock() ADETS_RELEASE() {
+    if (lk_.owns_lock()) {
+      lk_.release();
+      mu_->unlock();
+    }
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily releases the monitor (must currently hold it).
+  void unlock() ADETS_RELEASE() {
+    lk_.release();
+    mu_->unlock();
+  }
+
+  /// Reacquires the monitor after unlock().
+  void lock() ADETS_ACQUIRE() {
+    mu_->lock();
+    lk_ = std::unique_lock<std::mutex>(mu_->native_handle(), std::adopt_lock);
+  }
+
+  [[nodiscard]] bool owns_lock() const { return lk_.owns_lock(); }
+
+  /// For CondVar only.
+  std::unique_lock<std::mutex>& native() { return lk_; }
+
+ private:
+  Mutex* mu_;
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// Condition variable paired with Mutex via MutexLock.
+///
+/// The predicate overloads run their predicate with the lock held, like
+/// the std equivalents.  Prefer predicates that only read unguarded or
+/// atomic state; clang analyzes lambda bodies as separate functions, so
+/// a predicate touching ADETS_GUARDED_BY members may produce
+/// false-positive warnings -- restructure such call sites as explicit
+/// `while (!cond) cv.wait(lk);` loops instead.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(MutexLock& lk) { cv_.wait(lk.native()); }
+
+  template <typename Pred>
+  void wait(MutexLock& lk, Pred pred) {
+    cv_.wait(lk.native(), std::move(pred));
+  }
+
+  std::cv_status wait_for(MutexLock& lk, Duration timeout) {
+    return cv_.wait_for(lk.native(), timeout);
+  }
+
+  template <typename Pred>
+  bool wait_for(MutexLock& lk, Duration timeout, Pred pred) {
+    return cv_.wait_for(lk.native(), timeout, std::move(pred));
+  }
+
+  std::cv_status wait_until(MutexLock& lk, TimePoint deadline) {
+    return cv_.wait_until(lk.native(), deadline);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace adets::common

@@ -27,7 +27,7 @@ GroupService::~GroupService() { stop(); }
 
 void GroupService::stop() {
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const common::MutexLock guard(mutex_);
     if (stopping_) return;
     stopping_ = true;
   }
@@ -38,7 +38,7 @@ void GroupService::stop() {
 
 void GroupService::join(GroupId group, std::vector<NodeId> initial_members,
                         GroupCallbacks callbacks) {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const common::MutexLock guard(mutex_);
   MemberState st;
   st.view = View::initial(std::move(initial_members));
   st.callbacks = std::move(callbacks);
@@ -55,7 +55,7 @@ void GroupService::join(GroupId group, std::vector<NodeId> initial_members,
 }
 
 void GroupService::connect(GroupId group, std::vector<NodeId> members) {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const common::MutexLock guard(mutex_);
   std::sort(members.begin(), members.end());
   SenderState sender;
   sender.members = std::move(members);
@@ -63,7 +63,7 @@ void GroupService::connect(GroupId group, std::vector<NodeId> members) {
 }
 
 std::uint64_t GroupService::submit(GroupId group, Bytes payload) {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const common::MutexLock guard(mutex_);
   auto it = senders_.find(group.value());
   if (it == senders_.end()) return 0;
   SenderState& sender = it->second;
@@ -85,18 +85,18 @@ void GroupService::send_direct(NodeId dst, Bytes payload) {
 
 void GroupService::set_direct_handler(
     std::function<void(NodeId, const Bytes&)> handler) {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const common::MutexLock guard(mutex_);
   direct_handler_ = std::move(handler);
 }
 
 View GroupService::current_view(GroupId group) const {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const common::MutexLock guard(mutex_);
   const auto it = memberships_.find(group.value());
   return it == memberships_.end() ? View{} : it->second.view;
 }
 
 std::uint64_t GroupService::delivered_up_to(GroupId group) const {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const common::MutexLock guard(mutex_);
   const auto it = memberships_.find(group.value());
   return it == memberships_.end() ? 0 : it->second.delivered_up_to;
 }
@@ -119,7 +119,7 @@ void GroupService::on_message(transport::Message message) {
     return;
   }
 
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const common::MutexLock guard(mutex_);
   if (stopping_) return;
   // Any protocol traffic from a peer counts as a liveness signal.
   if (auto it = memberships_.find(group.value()); it != memberships_.end()) {
@@ -131,7 +131,7 @@ void GroupService::on_message(transport::Message message) {
       case WireKind::kSubmitAck: handle_submit_ack(group, r); break;
       case WireKind::kSeqMsg: handle_seq_msg(group, r); break;
       case WireKind::kNack: handle_nack(group, message.src, r); break;
-      case WireKind::kHeartbeat: handle_heartbeat(group, message.src); break;
+      case WireKind::kHeartbeat: handle_heartbeat(group, message.src, r); break;
       case WireKind::kViewPropose: handle_view_propose(group, message.src, r); break;
       case WireKind::kViewAck: handle_view_ack(group, message.src, r); break;
       case WireKind::kViewCommit: handle_view_commit(group, r); break;
@@ -299,8 +299,28 @@ void GroupService::handle_nack(GroupId group, NodeId from, Reader& r) {
   }
 }
 
-void GroupService::handle_heartbeat(GroupId, NodeId) {
-  // Liveness was already recorded in on_message.
+void GroupService::handle_heartbeat(GroupId group, NodeId, Reader& r) {
+  // Liveness was already recorded in on_message.  The heartbeat also
+  // carries the peer's highest known sequence number: that is the only
+  // way a member can detect a gap at the TAIL of the stream.  A dropped
+  // final SeqMsg leaves the holdback queue empty, so send_nack_if_gap
+  // never fires, and once the submitter has seen its own submission
+  // sequenced nobody retransmits -- the member would lag forever.
+  const std::uint64_t peer_highest = r.u64();
+  auto it = memberships_.find(group.value());
+  if (it == memberships_.end()) return;
+  MemberState& st = it->second;
+  if (st.commit_pending) return;  // view installation repairs its own range
+  if (peer_highest <= st.delivered_up_to) return;
+  const auto now = common::Clock::now();
+  if (now - st.last_nack < config_.retransmit_interval) return;
+  st.last_nack = now;
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(WireKind::kNack));
+  w.u32(group.value());
+  w.u64(st.delivered_up_to + 1);
+  w.u64(peer_highest);
+  send_wire(st.view.sequencer(), w.take());
 }
 
 // --- view changes ------------------------------------------------------------
@@ -506,7 +526,7 @@ void GroupService::resend_pending(GroupId group, SenderState& sender, bool force
 void GroupService::timer_loop() {
   while (true) {
     {
-      const std::lock_guard<std::mutex> guard(mutex_);
+      const common::MutexLock guard(mutex_);
       if (stopping_) return;
       const auto now = common::Clock::now();
       for (auto& [group_raw, st] : memberships_) {
@@ -517,6 +537,16 @@ void GroupService::timer_loop() {
           Writer w;
           w.u8(static_cast<std::uint8_t>(WireKind::kHeartbeat));
           w.u32(group_raw);
+          // Highest sequence this node knows of, so receivers can detect
+          // (and NACK) a gap at the tail of the stream.
+          std::uint64_t known_highest = st.delivered_up_to;
+          if (!st.holdback.empty()) {
+            known_highest = std::max(known_highest, st.holdback.rbegin()->first);
+          }
+          if (st.view.sequencer() == self_) {
+            known_highest = std::max(known_highest, st.next_seq - 1);
+          }
+          w.u64(known_highest);
           const Bytes bytes = w.take();
           for (auto m : st.view.members) {
             if (m != self_) send_wire(m, bytes);
@@ -558,7 +588,7 @@ void GroupService::delivery_loop() {
     if (auto* deliver = std::get_if<DeliverEvent>(&*event)) {
       GroupCallbacks callbacks;
       {
-        const std::lock_guard<std::mutex> guard(mutex_);
+        const common::MutexLock guard(mutex_);
         const auto it = memberships_.find(deliver->group.value());
         if (it != memberships_.end()) callbacks = it->second.callbacks;
       }
@@ -566,7 +596,7 @@ void GroupService::delivery_loop() {
     } else if (auto* view = std::get_if<ViewEvent>(&*event)) {
       GroupCallbacks callbacks;
       {
-        const std::lock_guard<std::mutex> guard(mutex_);
+        const common::MutexLock guard(mutex_);
         const auto it = memberships_.find(view->group.value());
         if (it != memberships_.end()) callbacks = it->second.callbacks;
       }
@@ -574,7 +604,7 @@ void GroupService::delivery_loop() {
     } else if (auto* direct = std::get_if<DirectEvent>(&*event)) {
       std::function<void(NodeId, const Bytes&)> handler;
       {
-        const std::lock_guard<std::mutex> guard(mutex_);
+        const common::MutexLock guard(mutex_);
         handler = direct_handler_;
       }
       if (handler) handler(direct->src, direct->payload);

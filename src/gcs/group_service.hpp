@@ -36,8 +36,10 @@
 #include <variant>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/blocking_queue.hpp"
 #include "common/clock.hpp"
+#include "common/mutex.hpp"
 #include "common/types.hpp"
 #include "gcs/view.hpp"
 #include "gcs/wire.hpp"
@@ -161,26 +163,37 @@ class GroupService {
   };
   using Event = std::variant<DeliverEvent, ViewEvent, DirectEvent>;
 
-  // All handlers below run with mutex_ held unless stated otherwise.
+  // All handlers below run with mutex_ held (enforced by clang's
+  // thread-safety analysis via ADETS_REQUIRES) unless stated otherwise.
   void on_message(transport::Message message);  // transport thread
-  void handle_submit(common::GroupId group, common::Reader& r);
-  void handle_submit_ack(common::GroupId group, common::Reader& r);
-  void handle_seq_msg(common::GroupId group, common::Reader& r);
-  void handle_nack(common::GroupId group, common::NodeId from, common::Reader& r);
-  void handle_heartbeat(common::GroupId group, common::NodeId from);
-  void handle_view_propose(common::GroupId group, common::NodeId from, common::Reader& r);
-  void handle_view_ack(common::GroupId group, common::NodeId from, common::Reader& r);
-  void handle_view_commit(common::GroupId group, common::Reader& r);
+  void handle_submit(common::GroupId group, common::Reader& r) ADETS_REQUIRES(mutex_);
+  void handle_submit_ack(common::GroupId group, common::Reader& r) ADETS_REQUIRES(mutex_);
+  void handle_seq_msg(common::GroupId group, common::Reader& r) ADETS_REQUIRES(mutex_);
+  void handle_nack(common::GroupId group, common::NodeId from, common::Reader& r)
+      ADETS_REQUIRES(mutex_);
+  void handle_heartbeat(common::GroupId group, common::NodeId from, common::Reader& r)
+      ADETS_REQUIRES(mutex_);
+  void handle_view_propose(common::GroupId group, common::NodeId from, common::Reader& r)
+      ADETS_REQUIRES(mutex_);
+  void handle_view_ack(common::GroupId group, common::NodeId from, common::Reader& r)
+      ADETS_REQUIRES(mutex_);
+  void handle_view_commit(common::GroupId group, common::Reader& r)
+      ADETS_REQUIRES(mutex_);
 
-  void sequence_submission(common::GroupId group, MemberState& st, Submission submission);
-  void store_and_deliver(common::GroupId group, MemberState& st, Sequenced message);
-  void try_deliver(common::GroupId group, MemberState& st);
-  void maybe_install_view(common::GroupId group, MemberState& st);
-  void start_proposal(common::GroupId group, MemberState& st);
-  void finish_proposal(common::GroupId group, MemberState& st);
-  void send_nack_if_gap(common::GroupId group, MemberState& st, bool force);
-  void resend_pending(common::GroupId group, SenderState& sender, bool force);
-  void multicast_seq(const MemberState& st, common::GroupId group, const Sequenced& message);
+  void sequence_submission(common::GroupId group, MemberState& st, Submission submission)
+      ADETS_REQUIRES(mutex_);
+  void store_and_deliver(common::GroupId group, MemberState& st, Sequenced message)
+      ADETS_REQUIRES(mutex_);
+  void try_deliver(common::GroupId group, MemberState& st) ADETS_REQUIRES(mutex_);
+  void maybe_install_view(common::GroupId group, MemberState& st) ADETS_REQUIRES(mutex_);
+  void start_proposal(common::GroupId group, MemberState& st) ADETS_REQUIRES(mutex_);
+  void finish_proposal(common::GroupId group, MemberState& st) ADETS_REQUIRES(mutex_);
+  void send_nack_if_gap(common::GroupId group, MemberState& st, bool force)
+      ADETS_REQUIRES(mutex_);
+  void resend_pending(common::GroupId group, SenderState& sender, bool force)
+      ADETS_REQUIRES(mutex_);
+  void multicast_seq(const MemberState& st, common::GroupId group, const Sequenced& message)
+      ADETS_REQUIRES(mutex_);
 
   void send_wire(common::NodeId dst, const common::Bytes& bytes);
   void timer_loop();
@@ -190,13 +203,14 @@ class GroupService {
   const common::NodeId self_;
   const GroupServiceConfig config_;
 
-  mutable std::mutex mutex_;
-  std::map<std::uint32_t, MemberState> memberships_;
-  std::map<std::uint32_t, SenderState> senders_;
-  std::function<void(common::NodeId, const common::Bytes&)> direct_handler_;
+  mutable common::Mutex mutex_{"gcs::mutex"};
+  std::map<std::uint32_t, MemberState> memberships_ ADETS_GUARDED_BY(mutex_);
+  std::map<std::uint32_t, SenderState> senders_ ADETS_GUARDED_BY(mutex_);
+  std::function<void(common::NodeId, const common::Bytes&)> direct_handler_
+      ADETS_GUARDED_BY(mutex_);
 
   common::BlockingQueue<Event> events_;
-  bool stopping_ = false;
+  bool stopping_ ADETS_GUARDED_BY(mutex_) = false;
   std::thread timer_;
   std::thread delivery_;
 };

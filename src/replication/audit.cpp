@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/clock.hpp"
+
 namespace adets::repl {
 
 std::map<std::uint64_t, std::vector<std::uint64_t>> per_mutex_decisions(
@@ -126,7 +128,7 @@ AuditReport DivergenceAuditor::check() {
   AuditReport report = audit_group(cluster_, group_);
   audits_run_.fetch_add(1, std::memory_order_relaxed);
   if (report.diverged) {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const common::MutexLock guard(mutex_);
     if (!divergence_detected_.load(std::memory_order_relaxed)) {
       first_divergence_ = report;
       divergence_detected_.store(true, std::memory_order_release);
@@ -136,7 +138,7 @@ AuditReport DivergenceAuditor::check() {
 }
 
 void DivergenceAuditor::start(common::Duration period) {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const common::MutexLock guard(mutex_);
   if (started_) return;
   started_ = true;
   stopping_ = false;
@@ -145,28 +147,38 @@ void DivergenceAuditor::start(common::Duration period) {
 
 void DivergenceAuditor::stop() {
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const common::MutexLock guard(mutex_);
     if (!started_) return;
     stopping_ = true;
   }
   stop_cv_.notify_all();
   if (poller_.joinable()) poller_.join();
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const common::MutexLock guard(mutex_);
   started_ = false;
 }
 
 void DivergenceAuditor::poll_loop(common::Duration period) {
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (stop_cv_.wait_for(lock, period, [this] { return stopping_; })) return;
+      // Deadline loop instead of a predicate wait: `stopping_` is
+      // guarded, and guarded members must stay out of wait-predicate
+      // lambdas for the thread-safety analysis (see common/mutex.hpp).
+      // The auditor polls diagnostics on real time by design; the
+      // period never influences replica decisions.
+      const auto deadline = common::Clock::now() + period;
+      common::MutexLock lock(mutex_);
+      while (!stopping_ && common::Clock::now() < deadline) {
+        // detlint:allow(real-time-wait) diagnostics poll cadence, not decision state
+        stop_cv_.wait_until(lock, deadline);
+      }
+      if (stopping_) return;
     }
     check();
   }
 }
 
 AuditReport DivergenceAuditor::first_divergence() const {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const common::MutexLock guard(mutex_);
   return first_divergence_;
 }
 

@@ -16,13 +16,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "runtime/cluster.hpp"
 #include "sched/api.hpp"
 
@@ -91,12 +91,12 @@ class DivergenceAuditor {
   runtime::Cluster& cluster_;
   const common::GroupId group_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable stop_cv_;
-  bool stopping_ = false;
-  bool started_ = false;
+  mutable common::Mutex mutex_{"repl::auditor"};
+  common::CondVar stop_cv_;
+  bool stopping_ ADETS_GUARDED_BY(mutex_) = false;
+  bool started_ ADETS_GUARDED_BY(mutex_) = false;
   std::thread poller_;
-  AuditReport first_divergence_;
+  AuditReport first_divergence_ ADETS_GUARDED_BY(mutex_);
   std::atomic<bool> divergence_detected_{false};
   std::atomic<std::uint64_t> audits_run_{0};
 };

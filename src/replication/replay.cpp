@@ -3,7 +3,9 @@
 #include <map>
 #include <thread>
 
+#include "common/annotations.hpp"
 #include "common/logging.hpp"
+#include "common/mutex.hpp"
 #include "runtime/context.hpp"
 #include "runtime/wire.hpp"
 
@@ -25,7 +27,7 @@ class ReplayHost : public sched::SchedulerEnv, public runtime::InvocationHost {
       : scheduler_(scheduler), object_(object) {}
 
   void add_reply(RequestId id, Bytes result) {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const common::MutexLock guard(mutex_);
     replies_[id.value()] = std::move(result);
   }
 
@@ -70,7 +72,7 @@ class ReplayHost : public sched::SchedulerEnv, public runtime::InvocationHost {
         runtime::derive_nested_id(ctx.request_id(), ctx.next_nested_counter());
     scheduler_.before_nested_call(nested_id);
     scheduler_.after_nested_call(nested_id);
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const common::MutexLock guard(mutex_);
     const auto it = replies_.find(nested_id.value());
     if (it == replies_.end()) throw runtime::ReplicaStopping();
     return it->second;
@@ -86,8 +88,8 @@ class ReplayHost : public sched::SchedulerEnv, public runtime::InvocationHost {
  private:
   sched::Scheduler& scheduler_;
   runtime::ReplicatedObject& object_;
-  std::mutex mutex_;
-  std::map<std::uint64_t, Bytes> replies_;
+  common::Mutex mutex_{"repl::replayhost"};
+  std::map<std::uint64_t, Bytes> replies_ ADETS_GUARDED_BY(mutex_);
 };
 
 }  // namespace

@@ -32,7 +32,7 @@ Replica::~Replica() { stop(); }
 
 void Replica::stop() {
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const common::MutexLock guard(mutex_);
     if (stopped_) return;
     stopped_ = true;
   }
@@ -50,7 +50,7 @@ void Replica::on_deliver(const gcs::Sequenced& message) {
         const RequestId id = r.id<RequestId>();
         const auto logical = r.id<LogicalThreadId>();
         {
-          const std::lock_guard<std::mutex> guard(mutex_);
+          const common::MutexLock guard(mutex_);
           if (stopped_) return;
           if (!seen_requests_.insert(id.value()).second) return;  // at-most-once
           if (event_log_) {
@@ -77,7 +77,7 @@ void Replica::on_deliver(const gcs::Sequenced& message) {
         const RequestId id = r.id<RequestId>();
         Bytes result = r.blob();
         {
-          const std::lock_guard<std::mutex> guard(mutex_);
+          const common::MutexLock guard(mutex_);
           if (stopped_) return;
           if (!seen_replies_.insert(id.value()).second) return;
           if (event_log_) {
@@ -96,7 +96,7 @@ void Replica::on_deliver(const gcs::Sequenced& message) {
         const NodeId sender(r.u32());
         const Bytes payload = r.blob();
         {
-          const std::lock_guard<std::mutex> guard(mutex_);
+          const common::MutexLock guard(mutex_);
           if (event_log_) {
             event_log_->append(EventLog::Event{EventLog::Event::Kind::kSchedMsg,
                                                payload,
@@ -184,7 +184,7 @@ void Replica::broadcast(const Bytes& payload) {
 
 void Replica::ensure_connected(GroupId target) {
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const common::MutexLock guard(mutex_);
     if (!connected_groups_.insert(target.value()).second) return;
   }
   gcs_.connect(target, directory_->members(target));
@@ -206,7 +206,7 @@ Bytes Replica::nested_invoke(SyncContext& ctx, GroupId target,
   gcs_.submit(target, encode_request(request));
   scheduler_->after_nested_call(nested_id);
 
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const common::MutexLock guard(mutex_);
   const auto it = nested_results_.find(nested_id.value());
   if (it == nested_results_.end()) throw ReplicaStopping();
   Bytes result = it->second;

@@ -10,13 +10,14 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "gcs/group_service.hpp"
 #include "runtime/context.hpp"
 #include "runtime/object.hpp"
@@ -29,18 +30,18 @@ namespace adets::runtime {
 class Directory {
  public:
   void add(common::GroupId group, std::vector<common::NodeId> members) {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const common::MutexLock guard(mutex_);
     groups_[group.value()] = std::move(members);
   }
   [[nodiscard]] std::vector<common::NodeId> members(common::GroupId group) const {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const common::MutexLock guard(mutex_);
     const auto it = groups_.find(group.value());
     return it == groups_.end() ? std::vector<common::NodeId>{} : it->second;
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::uint32_t, std::vector<common::NodeId>> groups_;
+  mutable common::Mutex mutex_{"runtime::directory"};
+  std::map<std::uint32_t, std::vector<common::NodeId>> groups_ ADETS_GUARDED_BY(mutex_);
 };
 
 /// A recorded totally-ordered event stream of one replica group, usable
@@ -58,21 +59,21 @@ class EventLog {
   };
 
   void append(Event event) {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const common::MutexLock guard(mutex_);
     events_.push_back(std::move(event));
   }
   [[nodiscard]] std::vector<Event> snapshot() const {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const common::MutexLock guard(mutex_);
     return events_;
   }
   [[nodiscard]] std::size_t size() const {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const common::MutexLock guard(mutex_);
     return events_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<Event> events_;
+  mutable common::Mutex mutex_{"runtime::eventlog"};
+  std::vector<Event> events_ ADETS_GUARDED_BY(mutex_);
 };
 
 class Replica : private sched::SchedulerEnv, public InvocationHost {
@@ -115,7 +116,7 @@ class Replica : private sched::SchedulerEnv, public InvocationHost {
   /// Starts recording this replica's delivered event stream (post
   /// at-most-once filtering) for later re-execution.
   void set_event_log(std::shared_ptr<EventLog> log) {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const common::MutexLock guard(mutex_);
     event_log_ = std::move(log);
   }
 
@@ -148,13 +149,16 @@ class Replica : private sched::SchedulerEnv, public InvocationHost {
   std::unique_ptr<ReplicatedObject> object_;
   std::shared_ptr<Directory> directory_;
 
-  std::mutex mutex_;
-  std::set<std::uint64_t> seen_requests_;       // at-most-once (requests)
-  std::set<std::uint64_t> seen_replies_;        // at-most-once (nested replies)
-  std::unordered_map<std::uint64_t, common::Bytes> nested_results_;
-  std::set<std::uint32_t> connected_groups_;
-  std::shared_ptr<EventLog> event_log_;
-  bool stopped_ = false;
+  common::Mutex mutex_{"runtime::replica"};
+  /// At-most-once (requests).
+  std::set<std::uint64_t> seen_requests_ ADETS_GUARDED_BY(mutex_);
+  /// At-most-once (nested replies).
+  std::set<std::uint64_t> seen_replies_ ADETS_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, common::Bytes> nested_results_
+      ADETS_GUARDED_BY(mutex_);
+  std::set<std::uint32_t> connected_groups_ ADETS_GUARDED_BY(mutex_);
+  std::shared_ptr<EventLog> event_log_ ADETS_GUARDED_BY(mutex_);
+  bool stopped_ ADETS_GUARDED_BY(mutex_) = false;
 
   /// Shared: held by execute() around every dispatch.  Exclusive:
   /// try-taken by try_audit_snapshot().  Never blocking-locked

@@ -220,7 +220,7 @@ void SchedulerBase::after_nested_call(RequestId) {
 std::string SchedulerBase::debug_dump() const {
   static const char* names[] = {"starting", "running",  "blk-lock", "blk-wait",
                                 "blk-reacq", "blk-nested", "blk-adm", "done"};
-  const std::lock_guard<std::mutex> guard(mon_);
+  const Lk guard(mon_);
   std::string out = to_string(kind()) + " threads:";
   for (const auto& [id, t] : threads_) {
     out += " [" + std::to_string(id) + ":" +
@@ -239,7 +239,7 @@ void SchedulerBase::set_trace(bool enabled) {
 }
 
 std::vector<GrantRecord> SchedulerBase::grant_trace() const {
-  const std::lock_guard<std::mutex> guard(mon_);
+  const Lk guard(mon_);
   return trace_;
 }
 
@@ -251,7 +251,7 @@ std::uint64_t SchedulerBase::completed_requests() const {
 }
 
 SchedulerStats SchedulerBase::stats() const {
-  const std::lock_guard<std::mutex> guard(mon_);
+  const Lk guard(mon_);
   return stats_;
 }
 
@@ -276,7 +276,7 @@ void SchedulerBase::record_decision(Decision::Kind kind, MutexId mutex,
 }
 
 std::vector<Decision> SchedulerBase::decision_trace() const {
-  const std::lock_guard<std::mutex> guard(mon_);
+  const Lk guard(mon_);
   std::vector<Decision> out;
   out.reserve(decision_ring_.size());
   const std::size_t capacity = config_.decision_trace_capacity;
@@ -389,6 +389,10 @@ void SchedulerBase::block(Lk& lk, ThreadRecord& t) {
 }
 
 void SchedulerBase::block_for(Lk& lk, ThreadRecord& t, common::Duration real_timeout) {
+  // The timed wait bounds how long the OS thread sleeps; the scheduling
+  // outcome is decided by the totally-ordered stream (timeout broadcasts
+  // / PDS no-op fill), never by which replica's timer fired first.
+  // detlint:allow(real-time-wait) wakeup outcome routed through the total order
   t.cv.wait_for(lk, real_timeout, [this, &t] { return t.wake || stopping(); });
   t.wake = false;
 }

@@ -18,16 +18,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "common/timer.hpp"
 #include "sched/api.hpp"
 
@@ -77,15 +76,18 @@ class SchedulerBase : public Scheduler {
   [[nodiscard]] SchedulerStats stats() const override;
 
  protected:
-  using Lk = std::unique_lock<std::mutex>;
+  using Lk = common::MutexLock;
 
   /// Registry entry of one scheduler-managed thread.  All mutable fields
-  /// are protected by mon_.
+  /// are protected by mon_ (clang's analysis cannot express "guarded by
+  /// a mutex of the enclosing object" on nested-struct fields, so the
+  /// invariant is enforced by convention plus the REQUIRES(mon_)
+  /// annotations on every function that receives a ThreadRecord&).
   struct ThreadRecord {
     common::ThreadId id;
     common::LogicalThreadId logical;
     Request request;                 // current work item
-    std::condition_variable cv;      // waits on mon_
+    common::CondVar cv;              // waits on mon_
     ThreadState state = ThreadState::kStarting;
     bool wake = false;               // one-shot wakeup flag for cv
     // wait()/timeout bookkeeping
@@ -107,40 +109,45 @@ class SchedulerBase : public Scheduler {
   };
 
   // --- strategy hook points (all called with mon_ held via `lk`) ----------
+  // NOTE: ADETS_REQUIRES is not inherited -- every override must repeat it.
 
   /// A new totally-ordered request arrived.
-  virtual void handle_request(Lk& lk, Request request) = 0;
+  virtual void handle_request(Lk& lk, Request request) ADETS_REQUIRES(mon_) = 0;
   /// A nested reply for `t` arrived (t.reply_arrived already set).
-  virtual void handle_reply(Lk& lk, ThreadRecord& t) = 0;
+  virtual void handle_reply(Lk& lk, ThreadRecord& t) ADETS_REQUIRES(mon_) = 0;
   /// Block the calling thread until it holds `mutex` (base level: the
   /// reentrancy layer already filtered recursive acquisitions).
-  virtual void base_lock(Lk& lk, ThreadRecord& t, common::MutexId mutex) = 0;
-  virtual void base_unlock(Lk& lk, ThreadRecord& t, common::MutexId mutex) = 0;
+  virtual void base_lock(Lk& lk, ThreadRecord& t, common::MutexId mutex)
+      ADETS_REQUIRES(mon_) = 0;
+  virtual void base_unlock(Lk& lk, ThreadRecord& t, common::MutexId mutex)
+      ADETS_REQUIRES(mon_) = 0;
   /// Release `mutex`, enqueue on the condvar's deterministic wait queue,
   /// block, reacquire `mutex`.  Returns notified/timed-out.
   virtual WaitResult base_wait(Lk& lk, ThreadRecord& t, common::MutexId mutex,
                                common::CondVarId condvar, std::uint64_t generation,
-                               common::Duration timeout) = 0;
+                               common::Duration timeout) ADETS_REQUIRES(mon_) = 0;
   virtual void base_notify(Lk& lk, ThreadRecord& t, common::MutexId mutex,
-                           common::CondVarId condvar, bool all) = 0;
+                           common::CondVarId condvar, bool all)
+      ADETS_REQUIRES(mon_) = 0;
   /// Resume thread `target` (blocked in wait()) because its timeout
   /// message arrived; returns false if the wait generation is stale.
   virtual bool base_resume_timed_out(Lk& lk, ThreadRecord& handler,
                                      common::MutexId mutex, common::CondVarId condvar,
-                                     common::ThreadId target, std::uint64_t generation) = 0;
-  virtual void base_before_nested(Lk& lk, ThreadRecord& t) = 0;
-  virtual void base_after_nested(Lk& lk, ThreadRecord& t) = 0;
+                                     common::ThreadId target, std::uint64_t generation)
+      ADETS_REQUIRES(mon_) = 0;
+  virtual void base_before_nested(Lk& lk, ThreadRecord& t) ADETS_REQUIRES(mon_) = 0;
+  virtual void base_after_nested(Lk& lk, ThreadRecord& t) ADETS_REQUIRES(mon_) = 0;
   /// Called when a thread's work item finished (thread about to exit or
   /// fetch the next pool assignment).
-  virtual void on_thread_done(Lk& lk, ThreadRecord& t) = 0;
+  virtual void on_thread_done(Lk& lk, ThreadRecord& t) ADETS_REQUIRES(mon_) = 0;
   /// Called once when the thread starts, before executing its request;
   /// strategies gate admission here (SAT single-active, MAT secondaries run).
-  virtual void on_thread_start(Lk& lk, ThreadRecord& t) = 0;
+  virtual void on_thread_start(Lk& lk, ThreadRecord& t) ADETS_REQUIRES(mon_) = 0;
   /// Wake every blocked thread for shutdown.
-  virtual void wake_all_for_stop(Lk& lk);
+  virtual void wake_all_for_stop(Lk& lk) ADETS_REQUIRES(mon_);
 
   /// Appends strategy-specific diagnostics (called with mon_ held).
-  virtual void debug_extra(std::string&) const {}
+  virtual void debug_extra(std::string&) const ADETS_REQUIRES(mon_) {}
 
   /// Top-level function of a spawned OS thread.  The default runs one
   /// work item: admission gate, execute, completion hook.  PDS overrides
@@ -161,24 +168,29 @@ class SchedulerBase : public Scheduler {
   /// deterministic ids (LSA timeout threads).
   ThreadRecord& spawn_thread(Lk& lk, Request request,
                              std::optional<common::ThreadId> forced_id = std::nullopt,
-                             bool internal = false);
+                             bool internal = false) ADETS_REQUIRES(mon_);
 
   /// The registry record of the calling thread (TLS).
   ThreadRecord& current();
 
   /// Blocks `t` on its condition variable until t.wake (resets it).
-  void block(Lk& lk, ThreadRecord& t);
+  void block(Lk& lk, ThreadRecord& t) ADETS_REQUIRES(mon_);
   /// Like block(), but returns after `real_timeout` even without a wake.
-  void block_for(Lk& lk, ThreadRecord& t, common::Duration real_timeout);
+  /// The real-time bound never reaches the strategy: the expiry is
+  /// routed through the totally-ordered stream (on_wait_timer_expired)
+  /// or, for PDS idle-fill, through a broadcast no-op request.
+  void block_for(Lk& lk, ThreadRecord& t, common::Duration real_timeout)
+      ADETS_REQUIRES(mon_);
   /// Makes `t` runnable (sets wake, notifies its cv).
   void wake(ThreadRecord& t);
 
-  void record_grant(common::MutexId mutex, common::ThreadId thread);
+  void record_grant(common::MutexId mutex, common::ThreadId thread)
+      ADETS_REQUIRES(mon_);
 
   /// Appends to the bounded decision ring (mon_ must be held).
   void record_decision(Decision::Kind kind, common::MutexId mutex,
                        common::CondVarId condvar, common::ThreadId thread,
-                       std::uint64_t generation = 0);
+                       std::uint64_t generation = 0) ADETS_REQUIRES(mon_);
 
   /// Executes one work item (application request or timeout handler) on
   /// the calling scheduler thread.  mon_ must NOT be held.
@@ -192,34 +204,40 @@ class SchedulerBase : public Scheduler {
   static common::Bytes encode_timeout(const TimeoutInfo& info);
   static std::optional<TimeoutInfo> decode_timeout(const common::Bytes& payload);
 
-  [[nodiscard]] ThreadRecord* find_thread(Lk& lk, common::ThreadId id);
+  [[nodiscard]] ThreadRecord* find_thread(Lk& lk, common::ThreadId id)
+      ADETS_REQUIRES(mon_);
   static ThreadRecord*& tls_slot();
   [[nodiscard]] bool stopping() const { return stopping_.load(std::memory_order_relaxed); }
 
   SchedulerConfig config_;
   SchedulerEnv* env_ = nullptr;
-  mutable std::mutex mon_;
-  std::map<std::uint64_t, std::unique_ptr<ThreadRecord>> threads_;
-  std::uint64_t next_thread_id_ = 0;
-  std::uint64_t next_internal_request_ = 0;
-  std::set<std::uint64_t> early_replies_;  // replies delivered before the caller registered
-  std::vector<std::thread> finished_;      // exited os threads, joined lazily
+  mutable common::Mutex mon_{"sched::mon"};
+  std::map<std::uint64_t, std::unique_ptr<ThreadRecord>> threads_ ADETS_GUARDED_BY(mon_);
+  std::uint64_t next_thread_id_ ADETS_GUARDED_BY(mon_) = 0;
+  std::uint64_t next_internal_request_ ADETS_GUARDED_BY(mon_) = 0;
+  /// Replies delivered before the caller registered.
+  std::set<std::uint64_t> early_replies_ ADETS_GUARDED_BY(mon_);
+  /// Exited os threads, joined lazily.
+  std::vector<std::thread> finished_ ADETS_GUARDED_BY(mon_);
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> completed_{0};
 
-  // Reentrancy layer (keyed by app mutex id).
+  // Reentrancy layer (keyed by app mutex id).  Ordered map: nothing
+  // iterates it today, but scheduler decision state must never tempt a
+  // future hash-order traversal (detlint unordered-iter rule).
   struct ReentrantState {
     common::LogicalThreadId owner = common::LogicalThreadId::invalid();
     int count = 0;
   };
-  std::unordered_map<std::uint64_t, ReentrantState> reentrant_;
+  std::map<std::uint64_t, ReentrantState> reentrant_ ADETS_GUARDED_BY(mon_);
 
-  // Tracing and counters (all guarded by mon_).
-  bool trace_enabled_ = false;
-  std::vector<GrantRecord> trace_;
-  std::vector<Decision> decision_ring_;  // bounded; decision_seq_ indexes it
-  std::uint64_t decision_seq_ = 0;
-  SchedulerStats stats_;
+  // Tracing and counters.
+  bool trace_enabled_ ADETS_GUARDED_BY(mon_) = false;
+  std::vector<GrantRecord> trace_ ADETS_GUARDED_BY(mon_);
+  /// Bounded; decision_seq_ indexes it.
+  std::vector<Decision> decision_ring_ ADETS_GUARDED_BY(mon_);
+  std::uint64_t decision_seq_ ADETS_GUARDED_BY(mon_) = 0;
+  SchedulerStats stats_ ADETS_GUARDED_BY(mon_);
 
   std::unique_ptr<common::TimerService> timer_;
 };

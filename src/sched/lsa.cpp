@@ -36,11 +36,12 @@ SchedulerCapabilities LsaScheduler::capabilities() const {
 void LsaScheduler::start(SchedulerEnv& env) {
   SchedulerBase::start(env);
   const auto members = env.view_members();
+  Lk lk(mon_);  // no threads yet; taken for the thread-safety analysis
   leader_ = !members.empty() && members.front() == env.self();
 }
 
 bool LsaScheduler::is_leader() const {
-  const std::lock_guard<std::mutex> guard(mon_);
+  const Lk guard(mon_);
   return leader_;
 }
 
@@ -205,11 +206,15 @@ void LsaScheduler::append_entry(Lk& lk, MutexId mutex, ThreadId thread,
       config_.lsa_batch_delay.count() == 0) {
     flush_outgoing(lk);
   } else if (outgoing_.size() == 1) {
-    timer_->schedule(config_.lsa_batch_delay, [this] {
-      Lk lk2(mon_);
-      if (!stopping()) flush_outgoing(lk2);
-    });
+    // The lambda body stays lock-free (clang analyzes lambdas as
+    // separate functions); flush_batched acquires mon_ itself.
+    timer_->schedule(config_.lsa_batch_delay, [this] { flush_batched(); });
   }
+}
+
+void LsaScheduler::flush_batched() {
+  Lk lk(mon_);
+  if (!stopping()) flush_outgoing(lk);
 }
 
 void LsaScheduler::flush_outgoing(Lk&) {

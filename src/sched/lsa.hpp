@@ -34,7 +34,6 @@
 
 #include <deque>
 #include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "sched/base.hpp"
@@ -56,22 +55,22 @@ class LsaScheduler : public SchedulerBase {
   [[nodiscard]] bool is_leader() const;
 
  protected:
-  void handle_request(Lk& lk, Request request) override;
-  void handle_reply(Lk& lk, ThreadRecord& t) override;
-  void base_lock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override;
-  void base_unlock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override;
+  void handle_request(Lk& lk, Request request) override ADETS_REQUIRES(mon_);
+  void handle_reply(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
+  void base_lock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override ADETS_REQUIRES(mon_);
+  void base_unlock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override ADETS_REQUIRES(mon_);
   WaitResult base_wait(Lk& lk, ThreadRecord& t, common::MutexId mutex,
                        common::CondVarId condvar, std::uint64_t generation,
-                       common::Duration timeout) override;
+                       common::Duration timeout) override ADETS_REQUIRES(mon_);
   void base_notify(Lk& lk, ThreadRecord& t, common::MutexId mutex,
-                   common::CondVarId condvar, bool all) override;
+                   common::CondVarId condvar, bool all) override ADETS_REQUIRES(mon_);
   bool base_resume_timed_out(Lk& lk, ThreadRecord& handler, common::MutexId mutex,
                              common::CondVarId condvar, common::ThreadId target,
-                             std::uint64_t generation) override;
-  void base_before_nested(Lk& lk, ThreadRecord& t) override;
-  void base_after_nested(Lk& lk, ThreadRecord& t) override;
-  void on_thread_start(Lk& lk, ThreadRecord& t) override;
-  void on_thread_done(Lk& lk, ThreadRecord& t) override;
+                             std::uint64_t generation) override ADETS_REQUIRES(mon_);
+  void base_before_nested(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
+  void base_after_nested(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
+  void on_thread_start(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
+  void on_thread_done(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
   void on_wait_timer_expired(common::ThreadId thread, common::MutexId mutex,
                              common::CondVarId condvar, std::uint64_t generation) override;
 
@@ -97,33 +96,36 @@ class LsaScheduler : public SchedulerBase {
   };
 
   /// The full lock algorithm (leader record / follower replay).
-  void lock_impl(Lk& lk, ThreadRecord& t, common::MutexId mutex);
-  void unlock_impl(Lk& lk, common::MutexId mutex);
+  void lock_impl(Lk& lk, ThreadRecord& t, common::MutexId mutex) ADETS_REQUIRES(mon_);
+  void unlock_impl(Lk& lk, common::MutexId mutex) ADETS_REQUIRES(mon_);
   void append_entry(Lk& lk, common::MutexId mutex, common::ThreadId thread,
-                    std::uint64_t op);
-  void flush_outgoing(Lk& lk);
-  void bind(common::MutexId mutex, std::uint64_t lsa_id);
-  void wake_lock_waiters(Lk& lk);
+                    std::uint64_t op) ADETS_REQUIRES(mon_);
+  void flush_outgoing(Lk& lk) ADETS_REQUIRES(mon_);
+  /// Timer callback target: acquires mon_ and flushes (kept out of the
+  /// lambda so the lambda body contains no lock operations).
+  void flush_batched();
+  void bind(common::MutexId mutex, std::uint64_t lsa_id) ADETS_REQUIRES(mon_);
+  void wake_lock_waiters(Lk& lk) ADETS_REQUIRES(mon_);
 
   static common::Bytes encode_table(const std::vector<TableEntry>& entries);
   static std::vector<TableEntry> decode_table(const common::Bytes& payload);
 
-  bool leader_ = false;
-  std::uint64_t next_lsa_id_ = 1;
-  std::unordered_map<std::uint64_t, std::uint64_t> app_to_lsa_;
-  std::unordered_map<std::uint64_t, std::uint64_t> lsa_to_app_;
-  std::unordered_map<std::uint64_t, MutexState> mutexes_;
+  bool leader_ ADETS_GUARDED_BY(mon_) = false;
+  std::uint64_t next_lsa_id_ ADETS_GUARDED_BY(mon_) = 1;
+  std::map<std::uint64_t, std::uint64_t> app_to_lsa_ ADETS_GUARDED_BY(mon_);
+  std::map<std::uint64_t, std::uint64_t> lsa_to_app_ ADETS_GUARDED_BY(mon_);
+  std::map<std::uint64_t, MutexState> mutexes_ ADETS_GUARDED_BY(mon_);
   /// Follower replay plan: recorded grantees per lsa id, FIFO.
-  std::unordered_map<std::uint64_t, std::deque<std::uint64_t>> expected_;
+  std::map<std::uint64_t, std::deque<std::uint64_t>> expected_ ADETS_GUARDED_BY(mon_);
   /// Per-thread count of base-level lock operations (identical on every
   /// replica; keys the dynamic-binding protocol).
-  std::unordered_map<std::uint64_t, std::uint64_t> lock_ops_;
+  std::map<std::uint64_t, std::uint64_t> lock_ops_ ADETS_GUARDED_BY(mon_);
   /// Follower: (thread, op) -> app mutex requested but not yet bound.
-  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> unknown_requests_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> unknown_requests_ ADETS_GUARDED_BY(mon_);
   /// Follower: is_new entries that arrived before the thread's op.
-  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> early_new_entries_;
-  std::unordered_map<std::uint64_t, std::deque<Waiter>> cond_queues_;
-  std::vector<TableEntry> outgoing_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> early_new_entries_ ADETS_GUARDED_BY(mon_);
+  std::map<std::uint64_t, std::deque<Waiter>> cond_queues_ ADETS_GUARDED_BY(mon_);
+  std::vector<TableEntry> outgoing_ ADETS_GUARDED_BY(mon_);
 };
 
 }  // namespace adets::sched

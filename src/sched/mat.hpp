@@ -32,7 +32,7 @@
 #pragma once
 
 #include <deque>
-#include <unordered_map>
+#include <map>
 #include <variant>
 
 #include "sched/base.hpp"
@@ -50,23 +50,23 @@ class MatScheduler : public SchedulerBase {
   void on_reply(common::RequestId nested_id) override;
 
  protected:
-  void handle_request(Lk& lk, Request request) override;
-  void handle_reply(Lk& lk, ThreadRecord& t) override;
-  void base_lock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override;
-  void base_unlock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override;
+  void handle_request(Lk& lk, Request request) override ADETS_REQUIRES(mon_);
+  void handle_reply(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
+  void base_lock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override ADETS_REQUIRES(mon_);
+  void base_unlock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override ADETS_REQUIRES(mon_);
   WaitResult base_wait(Lk& lk, ThreadRecord& t, common::MutexId mutex,
                        common::CondVarId condvar, std::uint64_t generation,
-                       common::Duration timeout) override;
+                       common::Duration timeout) override ADETS_REQUIRES(mon_);
   void base_notify(Lk& lk, ThreadRecord& t, common::MutexId mutex,
-                   common::CondVarId condvar, bool all) override;
+                   common::CondVarId condvar, bool all) override ADETS_REQUIRES(mon_);
   bool base_resume_timed_out(Lk& lk, ThreadRecord& handler, common::MutexId mutex,
                              common::CondVarId condvar, common::ThreadId target,
-                             std::uint64_t generation) override;
-  void base_before_nested(Lk& lk, ThreadRecord& t) override;
-  void base_after_nested(Lk& lk, ThreadRecord& t) override;
-  void on_thread_start(Lk& lk, ThreadRecord& t) override;
-  void on_thread_done(Lk& lk, ThreadRecord& t) override;
-  void debug_extra(std::string& out) const override;
+                             std::uint64_t generation) override ADETS_REQUIRES(mon_);
+  void base_before_nested(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
+  void base_after_nested(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
+  void on_thread_start(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
+  void on_thread_done(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
+  void debug_extra(std::string& out) const override ADETS_REQUIRES(mon_);
 
  private:
   struct MutexState {
@@ -82,13 +82,13 @@ class MatScheduler : public SchedulerBase {
   };
 
   /// Pops tickets until a thread that can use the token is found.
-  void try_assign_token(Lk& lk);
+  void try_assign_token(Lk& lk) ADETS_REQUIRES(mon_);
   /// Gives the token up (if held by `t`) and reassigns.
-  void transfer_token(Lk& lk, ThreadRecord& t);
+  void transfer_token(Lk& lk, ThreadRecord& t) ADETS_REQUIRES(mon_);
   /// Grants `mutex` at unlock: pending reacquirers first, then the
   /// token-holding waiter.
-  void hand_over(Lk& lk, common::MutexId mutex);
-  void resume_waiter(Lk& lk, ThreadRecord& t, common::MutexId mutex, bool timed_out);
+  void hand_over(Lk& lk, common::MutexId mutex) ADETS_REQUIRES(mon_);
+  void resume_waiter(Lk& lk, ThreadRecord& t, common::MutexId mutex, bool timed_out) ADETS_REQUIRES(mon_);
 
   /// A thread's claim on the token, valid for one eligibility *epoch*
   /// (epochs advance at nested-reply claims and notifications).  A
@@ -104,12 +104,12 @@ class MatScheduler : public SchedulerBase {
   /// call — the token waits there until the thread claims the reply.
   using Ticket = std::variant<ThreadTicket, common::RequestId>;
 
-  common::ThreadId primary_ = common::ThreadId::invalid();
-  std::deque<Ticket> tickets_;
+  common::ThreadId primary_ ADETS_GUARDED_BY(mon_) = common::ThreadId::invalid();
+  std::deque<Ticket> tickets_ ADETS_GUARDED_BY(mon_);
   /// reply id -> claiming thread's ticket (resolves placeholders).
-  std::unordered_map<std::uint64_t, ThreadTicket> claimed_replies_;
-  std::unordered_map<std::uint64_t, MutexState> mutexes_;
-  std::unordered_map<std::uint64_t, std::deque<Waiter>> cond_queues_;
+  std::map<std::uint64_t, ThreadTicket> claimed_replies_ ADETS_GUARDED_BY(mon_);
+  std::map<std::uint64_t, MutexState> mutexes_ ADETS_GUARDED_BY(mon_);
+  std::map<std::uint64_t, std::deque<Waiter>> cond_queues_ ADETS_GUARDED_BY(mon_);
 };
 
 }  // namespace adets::sched

@@ -35,12 +35,12 @@ void PdsScheduler::start(SchedulerEnv& env) {
 }
 
 std::uint64_t PdsScheduler::rounds() const {
-  const std::lock_guard<std::mutex> guard(mon_);
+  const Lk guard(mon_);
   return round_;
 }
 
 std::size_t PdsScheduler::pool_size() const {
-  const std::lock_guard<std::mutex> guard(mon_);
+  const Lk guard(mon_);
   std::size_t alive = 0;
   for (const auto& [id, record] : threads_) {
     if (record->state != ThreadState::kDone) alive++;

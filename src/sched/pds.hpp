@@ -32,7 +32,7 @@
 #pragma once
 
 #include <deque>
-#include <unordered_map>
+#include <map>
 
 #include "sched/base.hpp"
 
@@ -54,22 +54,22 @@ class PdsScheduler : public SchedulerBase {
   [[nodiscard]] std::size_t pool_size() const;
 
  protected:
-  void handle_request(Lk& lk, Request request) override;
-  void handle_reply(Lk& lk, ThreadRecord& t) override;
-  void base_lock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override;
-  void base_unlock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override;
+  void handle_request(Lk& lk, Request request) override ADETS_REQUIRES(mon_);
+  void handle_reply(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
+  void base_lock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override ADETS_REQUIRES(mon_);
+  void base_unlock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override ADETS_REQUIRES(mon_);
   WaitResult base_wait(Lk& lk, ThreadRecord& t, common::MutexId mutex,
                        common::CondVarId condvar, std::uint64_t generation,
-                       common::Duration timeout) override;
+                       common::Duration timeout) override ADETS_REQUIRES(mon_);
   void base_notify(Lk& lk, ThreadRecord& t, common::MutexId mutex,
-                   common::CondVarId condvar, bool all) override;
+                   common::CondVarId condvar, bool all) override ADETS_REQUIRES(mon_);
   bool base_resume_timed_out(Lk& lk, ThreadRecord& handler, common::MutexId mutex,
                              common::CondVarId condvar, common::ThreadId target,
-                             std::uint64_t generation) override;
-  void base_before_nested(Lk& lk, ThreadRecord& t) override;
-  void base_after_nested(Lk& lk, ThreadRecord& t) override;
-  void on_thread_start(Lk& lk, ThreadRecord& t) override;
-  void on_thread_done(Lk& lk, ThreadRecord& t) override;
+                             std::uint64_t generation) override ADETS_REQUIRES(mon_);
+  void base_before_nested(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
+  void base_after_nested(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
+  void on_thread_start(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
+  void on_thread_done(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
   void thread_body(ThreadRecord& t) override;
 
  private:
@@ -85,26 +85,26 @@ class PdsScheduler : public SchedulerBase {
     std::uint64_t generation;
   };
 
-  void pds_lock(Lk& lk, ThreadRecord& t, common::MutexId mutex);
-  void pds_unlock(Lk& lk, common::MutexId mutex);
-  void grant(Lk& lk, ThreadRecord& t, common::MutexId mutex);
+  void pds_lock(Lk& lk, ThreadRecord& t, common::MutexId mutex) ADETS_REQUIRES(mon_);
+  void pds_unlock(Lk& lk, common::MutexId mutex) ADETS_REQUIRES(mon_);
+  void grant(Lk& lk, ThreadRecord& t, common::MutexId mutex) ADETS_REQUIRES(mon_);
   /// Starts a new round iff every worker is suspended/waiting/terminated.
-  void maybe_start_round(Lk& lk);
-  bool lower_ids_have_phase1(Lk& lk, const ThreadRecord& t) const;
+  void maybe_start_round(Lk& lk) ADETS_REQUIRES(mon_);
+  bool lower_ids_have_phase1(Lk& lk, const ThreadRecord& t) const ADETS_REQUIRES(mon_);
   /// Converts a condvar waiter into a next-round mutex request.
   void waiter_to_lock_request(Lk& lk, ThreadRecord& t, common::MutexId mutex,
-                              bool timed_out);
+                              bool timed_out) ADETS_REQUIRES(mon_);
   /// Fetches the next work item per the configured assignment strategy.
-  std::optional<Request> fetch(Lk& lk, ThreadRecord& t);
-  void spawn_worker(Lk& lk, bool pre_suspended);
-  void wake_everyone(Lk& lk);
+  std::optional<Request> fetch(Lk& lk, ThreadRecord& t) ADETS_REQUIRES(mon_);
+  void spawn_worker(Lk& lk, bool pre_suspended) ADETS_REQUIRES(mon_);
+  void wake_everyone(Lk& lk) ADETS_REQUIRES(mon_);
 
-  std::uint64_t round_ = 0;
-  std::deque<Request> request_queue_;
-  std::uint64_t next_fetch_index_ = 0;  // consumed count (round-robin)
-  std::size_t initial_pool_ = 0;
-  std::unordered_map<std::uint64_t, MutexState> mutexes_;
-  std::unordered_map<std::uint64_t, std::deque<Waiter>> cond_queues_;
+  std::uint64_t round_ ADETS_GUARDED_BY(mon_) = 0;
+  std::deque<Request> request_queue_ ADETS_GUARDED_BY(mon_);
+  std::uint64_t next_fetch_index_ ADETS_GUARDED_BY(mon_) = 0;  // consumed count (round-robin)
+  std::size_t initial_pool_ ADETS_GUARDED_BY(mon_) = 0;
+  std::map<std::uint64_t, MutexState> mutexes_ ADETS_GUARDED_BY(mon_);
+  std::map<std::uint64_t, std::deque<Waiter>> cond_queues_ ADETS_GUARDED_BY(mon_);
 };
 
 }  // namespace adets::sched

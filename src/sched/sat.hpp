@@ -22,7 +22,6 @@
 
 #include <deque>
 #include <map>
-#include <unordered_map>
 #include <variant>
 
 #include "sched/base.hpp"
@@ -40,23 +39,23 @@ class SatScheduler : public SchedulerBase {
   void on_reply(common::RequestId nested_id) override;
 
  protected:
-  void handle_request(Lk& lk, Request request) override;
-  void handle_reply(Lk& lk, ThreadRecord& t) override;
-  void base_lock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override;
-  void base_unlock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override;
+  void handle_request(Lk& lk, Request request) override ADETS_REQUIRES(mon_);
+  void handle_reply(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
+  void base_lock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override ADETS_REQUIRES(mon_);
+  void base_unlock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override ADETS_REQUIRES(mon_);
   WaitResult base_wait(Lk& lk, ThreadRecord& t, common::MutexId mutex,
                        common::CondVarId condvar, std::uint64_t generation,
-                       common::Duration timeout) override;
+                       common::Duration timeout) override ADETS_REQUIRES(mon_);
   void base_notify(Lk& lk, ThreadRecord& t, common::MutexId mutex,
-                   common::CondVarId condvar, bool all) override;
+                   common::CondVarId condvar, bool all) override ADETS_REQUIRES(mon_);
   bool base_resume_timed_out(Lk& lk, ThreadRecord& handler, common::MutexId mutex,
                              common::CondVarId condvar, common::ThreadId target,
-                             std::uint64_t generation) override;
-  void base_before_nested(Lk& lk, ThreadRecord& t) override;
-  void base_after_nested(Lk& lk, ThreadRecord& t) override;
-  void on_thread_start(Lk& lk, ThreadRecord& t) override;
-  void on_thread_done(Lk& lk, ThreadRecord& t) override;
-  void debug_extra(std::string& out) const override;
+                             std::uint64_t generation) override ADETS_REQUIRES(mon_);
+  void base_before_nested(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
+  void base_after_nested(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
+  void on_thread_start(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
+  void on_thread_done(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
+  void debug_extra(std::string& out) const override ADETS_REQUIRES(mon_);
 
  private:
   using StreamEvent = std::variant<Request, common::RequestId>;
@@ -71,20 +70,20 @@ class SatScheduler : public SchedulerBase {
   };
 
   /// Releases the activity token and activates the next ready thread.
-  void release_activity(Lk& lk, ThreadRecord& t);
-  void activate_next(Lk& lk);
+  void release_activity(Lk& lk, ThreadRecord& t) ADETS_REQUIRES(mon_);
+  void activate_next(Lk& lk) ADETS_REQUIRES(mon_);
   /// Blocks `t` until it holds the activity token.
-  void await_activation(Lk& lk, ThreadRecord& t);
+  void await_activation(Lk& lk, ThreadRecord& t) ADETS_REQUIRES(mon_);
   /// Grants `mutex` to the FIFO head waiter (if any) and readies it.
-  void hand_over(Lk& lk, common::MutexId mutex);
+  void hand_over(Lk& lk, common::MutexId mutex) ADETS_REQUIRES(mon_);
   /// Wakes `t` out of the condvar queue into the mutex-reacquire FIFO.
-  void move_to_reacquire(Lk& lk, ThreadRecord& t, common::MutexId mutex, bool timed_out);
+  void move_to_reacquire(Lk& lk, ThreadRecord& t, common::MutexId mutex, bool timed_out) ADETS_REQUIRES(mon_);
 
-  common::ThreadId active_ = common::ThreadId::invalid();
-  std::deque<common::ThreadId> ready_;       // internal resumptions (priority)
-  std::deque<StreamEvent> stream_;           // external events, consumed lazily
-  std::unordered_map<std::uint64_t, MutexState> mutexes_;
-  std::unordered_map<std::uint64_t, std::deque<Waiter>> cond_queues_;
+  common::ThreadId active_ ADETS_GUARDED_BY(mon_) = common::ThreadId::invalid();
+  std::deque<common::ThreadId> ready_ ADETS_GUARDED_BY(mon_);       // internal resumptions (priority)
+  std::deque<StreamEvent> stream_ ADETS_GUARDED_BY(mon_);           // external events, consumed lazily
+  std::map<std::uint64_t, MutexState> mutexes_ ADETS_GUARDED_BY(mon_);
+  std::map<std::uint64_t, std::deque<Waiter>> cond_queues_ ADETS_GUARDED_BY(mon_);
 };
 
 }  // namespace adets::sched

@@ -28,30 +28,30 @@ class SeqScheduler : public SchedulerBase {
   [[nodiscard]] SchedulerCapabilities capabilities() const override;
 
  protected:
-  void handle_request(Lk& lk, Request request) override;
-  void handle_reply(Lk& lk, ThreadRecord& t) override;
-  void base_lock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override;
-  void base_unlock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override;
+  void handle_request(Lk& lk, Request request) override ADETS_REQUIRES(mon_);
+  void handle_reply(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
+  void base_lock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override ADETS_REQUIRES(mon_);
+  void base_unlock(Lk& lk, ThreadRecord& t, common::MutexId mutex) override ADETS_REQUIRES(mon_);
   WaitResult base_wait(Lk& lk, ThreadRecord& t, common::MutexId mutex,
                        common::CondVarId condvar, std::uint64_t generation,
-                       common::Duration timeout) override;
+                       common::Duration timeout) override ADETS_REQUIRES(mon_);
   void base_notify(Lk& lk, ThreadRecord& t, common::MutexId mutex,
-                   common::CondVarId condvar, bool all) override;
+                   common::CondVarId condvar, bool all) override ADETS_REQUIRES(mon_);
   bool base_resume_timed_out(Lk& lk, ThreadRecord& handler, common::MutexId mutex,
                              common::CondVarId condvar, common::ThreadId target,
-                             std::uint64_t generation) override;
-  void base_before_nested(Lk& lk, ThreadRecord& t) override;
-  void base_after_nested(Lk& lk, ThreadRecord& t) override;
-  void on_thread_start(Lk& lk, ThreadRecord& t) override;
-  void on_thread_done(Lk& lk, ThreadRecord& t) override;
+                             std::uint64_t generation) override ADETS_REQUIRES(mon_);
+  void base_before_nested(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
+  void base_after_nested(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
+  void on_thread_start(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
+  void on_thread_done(Lk& lk, ThreadRecord& t) override ADETS_REQUIRES(mon_);
 
   /// True if `request` continues the logical thread of a live local
   /// thread (i.e. it is a callback).  Always false for plain SEQ.
-  virtual bool is_callback(Lk& lk, const Request& request);
+  virtual bool is_callback(Lk& lk, const Request& request) ADETS_REQUIRES(mon_);
 
-  std::deque<Request> queue_;
-  bool busy_ = false;
-  common::ThreadId slot_owner_ = common::ThreadId::invalid();
+  std::deque<Request> queue_ ADETS_GUARDED_BY(mon_);
+  bool busy_ ADETS_GUARDED_BY(mon_) = false;
+  common::ThreadId slot_owner_ ADETS_GUARDED_BY(mon_) = common::ThreadId::invalid();
 };
 
 class SlScheduler : public SeqScheduler {
@@ -62,7 +62,7 @@ class SlScheduler : public SeqScheduler {
   [[nodiscard]] SchedulerCapabilities capabilities() const override;
 
  protected:
-  bool is_callback(Lk& lk, const Request& request) override;
+  bool is_callback(Lk& lk, const Request& request) override ADETS_REQUIRES(mon_);
 };
 
 }  // namespace adets::sched

@@ -18,7 +18,7 @@ SimNetwork::SimNetwork(LinkConfig default_link, std::uint64_t seed)
 SimNetwork::~SimNetwork() { stop(); }
 
 NodeId SimNetwork::create_node() {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const common::MutexLock guard(mutex_);
   const auto id = NodeId(static_cast<NodeId::rep_type>(nodes_.size()));
   auto node = std::make_unique<Node>();
   Node* raw = node.get();
@@ -30,16 +30,16 @@ NodeId SimNetwork::create_node() {
 void SimNetwork::set_handler(NodeId node, Handler handler) {
   Node* n = nullptr;
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const common::MutexLock guard(mutex_);
     n = nodes_.at(node.value()).get();
   }
-  const std::lock_guard<std::mutex> guard(n->handler_mutex);
+  const common::MutexLock guard(n->handler_mutex);
   n->handler = std::move(handler);
 }
 
 bool SimNetwork::send(NodeId src, NodeId dst, common::Bytes payload) {
   const auto now = common::Clock::now();
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const common::MutexLock guard(mutex_);
   if (stopping_) return false;
   if (src.value() >= nodes_.size() || dst.value() >= nodes_.size()) return false;
   stats_.messages_sent++;
@@ -110,17 +110,17 @@ bool SimNetwork::send(NodeId src, NodeId dst, common::Bytes payload) {
 }
 
 void SimNetwork::set_link(NodeId src, NodeId dst, LinkConfig config) {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const common::MutexLock guard(mutex_);
   links_[{src.value(), dst.value()}] = config;
 }
 
 void SimNetwork::crash(NodeId node) {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const common::MutexLock guard(mutex_);
   apply_node_event(NodeEvent{common::Duration::zero(), node, NodeEvent::Kind::kCrash});
 }
 
 void SimNetwork::restart(NodeId node) {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const common::MutexLock guard(mutex_);
   apply_node_event(NodeEvent{common::Duration::zero(), node, NodeEvent::Kind::kRestart});
 }
 
@@ -140,7 +140,7 @@ void SimNetwork::apply_node_event(const NodeEvent& event) {
 
 void SimNetwork::set_fault_plan(FaultPlan plan) {
   const auto now = common::Clock::now();
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const common::MutexLock guard(mutex_);
   if (stopping_) return;
   fault_plan_ = std::move(plan);
   fault_plan_armed_ = true;
@@ -155,23 +155,23 @@ void SimNetwork::set_fault_plan(FaultPlan plan) {
 }
 
 FaultTrace SimNetwork::fault_trace() const {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const common::MutexLock guard(mutex_);
   return fault_trace_;
 }
 
 bool SimNetwork::crashed(NodeId node) const {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const common::MutexLock guard(mutex_);
   return node.value() < nodes_.size() && nodes_[node.value()]->crashed.load();
 }
 
 NetworkStats SimNetwork::stats() const {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const common::MutexLock guard(mutex_);
   return stats_;
 }
 
 void SimNetwork::stop() {
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const common::MutexLock guard(mutex_);
     if (stopping_) return;
     stopping_ = true;
   }
@@ -180,7 +180,7 @@ void SimNetwork::stop() {
   // Close inboxes after the dispatcher is gone (no more pushes).
   std::vector<Node*> nodes;
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const common::MutexLock guard(mutex_);
     for (auto& n : nodes_) nodes.push_back(n.get());
   }
   for (Node* n : nodes) n->inbox.close();
@@ -195,19 +195,21 @@ LinkConfig SimNetwork::link_for(NodeId src, NodeId dst) const {
 }
 
 void SimNetwork::dispatcher_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
+  // Plain (predicate-free) waits: the enclosing loop re-evaluates the
+  // full condition after every wakeup, and keeping guarded members out
+  // of wait predicates is what lets clang's thread-safety analysis see
+  // this function whole (lambda bodies are analyzed separately).
   while (true) {
     if (stopping_) return;
     if (heap_.empty()) {
-      heap_cv_.wait(lock, [this] { return stopping_ || !heap_.empty(); });
+      heap_cv_.wait(lock);
       continue;
     }
     const TimePoint due = heap_.front().due;
     const auto now = common::Clock::now();
     if (due > now) {
-      heap_cv_.wait_until(lock, due, [this, due] {
-        return stopping_ || (!heap_.empty() && heap_.front().due < due);
-      });
+      heap_cv_.wait_until(lock, due);
       continue;
     }
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
@@ -232,7 +234,7 @@ void SimNetwork::node_loop(Node& node) {
     if (node.crashed.load()) continue;
     Handler handler;
     {
-      const std::lock_guard<std::mutex> guard(node.handler_mutex);
+      const common::MutexLock guard(node.handler_mutex);
       handler = node.handler;
     }
     if (handler) handler(std::move(*message));

@@ -19,12 +19,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/blocking_queue.hpp"
+#include "common/mutex.hpp"
 #include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "transport/fault.hpp"
@@ -106,8 +107,8 @@ class SimNetwork {
  private:
   struct Node {
     common::BlockingQueue<Message> inbox;
-    Handler handler;
-    std::mutex handler_mutex;
+    common::Mutex handler_mutex{"net::node.handler"};
+    Handler handler ADETS_GUARDED_BY(handler_mutex);
     std::atomic<bool> crashed{false};
     std::thread worker;
   };
@@ -125,25 +126,30 @@ class SimNetwork {
 
   void dispatcher_loop();
   void node_loop(Node& node);
-  void apply_node_event(const NodeEvent& event);  // mutex_ held
-  LinkConfig link_for(common::NodeId src, common::NodeId dst) const;
+  void apply_node_event(const NodeEvent& event) ADETS_REQUIRES(mutex_);
+  LinkConfig link_for(common::NodeId src, common::NodeId dst) const
+      ADETS_REQUIRES(mutex_);
 
   LinkConfig default_link_;
-  mutable std::mutex mutex_;  // guards nodes_ vector growth, links_, rng_, stats_, heap_
-  std::condition_variable heap_cv_;
-  std::vector<std::unique_ptr<Node>> nodes_;
-  std::map<std::pair<std::uint32_t, std::uint32_t>, LinkConfig> links_;
-  std::map<std::pair<std::uint32_t, std::uint32_t>, common::TimePoint> last_scheduled_;
-  std::vector<Pending> heap_;  // min-heap by due time
-  std::uint64_t next_seq_ = 0;
-  common::Rng rng_;
-  NetworkStats stats_;
-  // Fault injection (all guarded by mutex_).
-  FaultPlan fault_plan_;
-  bool fault_plan_armed_ = false;
-  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> fault_counters_;
-  FaultTrace fault_trace_;
-  bool stopping_ = false;
+  mutable common::Mutex mutex_{"net::mutex"};
+  common::CondVar heap_cv_;
+  std::vector<std::unique_ptr<Node>> nodes_ ADETS_GUARDED_BY(mutex_);
+  std::map<std::pair<std::uint32_t, std::uint32_t>, LinkConfig> links_
+      ADETS_GUARDED_BY(mutex_);
+  std::map<std::pair<std::uint32_t, std::uint32_t>, common::TimePoint> last_scheduled_
+      ADETS_GUARDED_BY(mutex_);
+  /// Min-heap by due time.
+  std::vector<Pending> heap_ ADETS_GUARDED_BY(mutex_);
+  std::uint64_t next_seq_ ADETS_GUARDED_BY(mutex_) = 0;
+  common::Rng rng_ ADETS_GUARDED_BY(mutex_);
+  NetworkStats stats_ ADETS_GUARDED_BY(mutex_);
+  // Fault injection.
+  FaultPlan fault_plan_ ADETS_GUARDED_BY(mutex_);
+  bool fault_plan_armed_ ADETS_GUARDED_BY(mutex_) = false;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> fault_counters_
+      ADETS_GUARDED_BY(mutex_);
+  FaultTrace fault_trace_ ADETS_GUARDED_BY(mutex_);
+  bool stopping_ ADETS_GUARDED_BY(mutex_) = false;
   std::thread dispatcher_;
 };
 

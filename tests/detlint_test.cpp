@@ -1,0 +1,264 @@
+// Per-rule positive/negative fixtures for the determinism linter, plus
+// whole-tree checks: the scanned source dirs must lint clean and the
+// RacyScheduler fixture must not.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "detlint.hpp"
+
+namespace {
+
+using adets::detlint::Finding;
+using adets::detlint::scan_source;
+
+std::vector<std::string> rules_of(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const auto& finding : findings) rules.push_back(finding.rule);
+  return rules;
+}
+
+bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+TEST(DetlintTest, WallClockFlagged) {
+  const auto findings = scan_source(
+      "src/sched/x.cpp", "auto t = std::chrono::steady_clock::now();\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "wall-clock");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(DetlintTest, SystemAndHighResolutionClockFlagged) {
+  EXPECT_TRUE(has_rule(
+      scan_source("a.cpp", "std::chrono::system_clock::now();\n"), "wall-clock"));
+  EXPECT_TRUE(has_rule(
+      scan_source("a.cpp", "std::chrono::high_resolution_clock::now();\n"),
+      "wall-clock"));
+}
+
+TEST(DetlintTest, WallClockExemptInCommonClock) {
+  EXPECT_TRUE(scan_source("src/common/clock.hpp",
+                          "return std::chrono::steady_clock::now();\n")
+                  .empty());
+  EXPECT_TRUE(scan_source("/abs/path/src/common/clock.cpp",
+                          "return std::chrono::steady_clock::now();\n")
+                  .empty());
+}
+
+TEST(DetlintTest, CommonClockFacadeNotFlagged) {
+  EXPECT_TRUE(scan_source("a.cpp", "auto t = common::Clock::now();\n").empty());
+}
+
+TEST(DetlintTest, ThreadIdFlagged) {
+  const auto findings =
+      scan_source("a.cpp", "auto id = std::this_thread::get_id();\n");
+  EXPECT_EQ(rules_of(findings), std::vector<std::string>{"thread-id"});
+}
+
+TEST(DetlintTest, RandomnessFlagged) {
+  EXPECT_TRUE(has_rule(scan_source("a.cpp", "std::random_device rd;\n"),
+                       "randomness"));
+  EXPECT_TRUE(has_rule(scan_source("a.cpp", "int x = rand() % 7;\n"),
+                       "randomness"));
+  EXPECT_TRUE(has_rule(scan_source("a.cpp", "srand(42);\n"), "randomness"));
+}
+
+TEST(DetlintTest, RandomnessExemptInCommonRng) {
+  EXPECT_TRUE(
+      scan_source("src/common/rng.hpp", "std::random_device entropy;\n").empty());
+}
+
+TEST(DetlintTest, SeededMt19937NotFlagged) {
+  // Deterministic seeded engines are fine; only entropy sources are not.
+  EXPECT_TRUE(scan_source("a.cpp", "std::mt19937_64 rng(seed);\n").empty());
+}
+
+TEST(DetlintTest, UnorderedIterationFlagged) {
+  const std::string source =
+      "std::unordered_map<std::uint64_t, int> table_;\n"
+      "void dump() {\n"
+      "  for (const auto& [k, v] : table_) emit(k, v);\n"
+      "}\n";
+  const auto findings = scan_source("a.cpp", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unordered-iter");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(DetlintTest, UnorderedBeginFlagged) {
+  const std::string source =
+      "std::unordered_set<int> pending_;\n"
+      "auto it = pending_.begin();\n";
+  EXPECT_TRUE(has_rule(scan_source("a.cpp", source), "unordered-iter"));
+}
+
+TEST(DetlintTest, UnorderedLookupNotFlagged) {
+  // Point lookups don't expose hash order; only iteration does.
+  const std::string source =
+      "std::unordered_map<std::uint64_t, int> table_;\n"
+      "auto it = table_.find(key);\n"
+      "table_.erase(key);\n";
+  EXPECT_TRUE(scan_source("a.cpp", source).empty());
+}
+
+TEST(DetlintTest, OrderedMapIterationNotFlagged) {
+  const std::string source =
+      "std::map<std::uint64_t, int> table_;\n"
+      "for (const auto& [k, v] : table_) emit(k, v);\n";
+  EXPECT_TRUE(scan_source("a.cpp", source).empty());
+}
+
+TEST(DetlintTest, RawMutexFlagged) {
+  EXPECT_TRUE(has_rule(scan_source("a.hpp", "std::mutex mon_;\n"), "raw-mutex"));
+  EXPECT_TRUE(has_rule(scan_source("a.hpp", "std::condition_variable cv_;\n"),
+                       "raw-mutex"));
+  EXPECT_TRUE(has_rule(scan_source("a.hpp", "std::shared_mutex m_;\n"),
+                       "raw-mutex"));
+  EXPECT_TRUE(has_rule(
+      scan_source("a.hpp", "std::condition_variable_any cv_;\n"), "raw-mutex"));
+}
+
+TEST(DetlintTest, WrappedMutexNotFlagged) {
+  EXPECT_TRUE(
+      scan_source("a.hpp", "common::Mutex mon_{\"sched::mon\"};\n").empty());
+  EXPECT_TRUE(scan_source("a.hpp", "common::CondVar cv;\n").empty());
+}
+
+TEST(DetlintTest, PointerKeyFlagged) {
+  EXPECT_TRUE(has_rule(
+      scan_source("a.hpp", "std::map<Object*, int> owners_;\n"), "ptr-key"));
+  EXPECT_TRUE(has_rule(
+      scan_source("a.hpp", "std::set<const Thread*> waiters_;\n"), "ptr-key"));
+}
+
+TEST(DetlintTest, ValueKeyNotFlagged) {
+  // Pointer VALUES are fine (never iterated in key order); pointer KEYS
+  // are not.
+  EXPECT_TRUE(
+      scan_source("a.hpp", "std::map<std::uint64_t, Object*> objects_;\n")
+          .empty());
+}
+
+TEST(DetlintTest, RealTimeWaitFlagged) {
+  EXPECT_TRUE(has_rule(scan_source("a.cpp", "cv.wait_for(lk, timeout);\n"),
+                       "real-time-wait"));
+  EXPECT_TRUE(has_rule(scan_source("a.cpp", "cv.wait_until(lk, deadline);\n"),
+                       "real-time-wait"));
+}
+
+TEST(DetlintTest, PlainWaitNotFlagged) {
+  EXPECT_TRUE(scan_source("a.cpp", "cv.wait(lk);\n").empty());
+}
+
+TEST(DetlintTest, AllowOnSameLineSuppresses) {
+  const auto findings = scan_source(
+      "a.cpp",
+      "cv.wait_for(lk, t);  // detlint:allow(real-time-wait) outcome replayed\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(DetlintTest, AllowOnLineAboveSuppresses) {
+  const std::string source =
+      "// detlint:allow(real-time-wait) outcome routed through total order\n"
+      "cv.wait_for(lk, t);\n";
+  EXPECT_TRUE(scan_source("a.cpp", source).empty());
+}
+
+TEST(DetlintTest, AllowOnlySuppressesNamedRule) {
+  const std::string source =
+      "// detlint:allow(wall-clock) some reason\n"
+      "cv.wait_for(lk, t);\n";
+  EXPECT_TRUE(has_rule(scan_source("a.cpp", source), "real-time-wait"));
+}
+
+TEST(DetlintTest, AllowDoesNotLeakPastNextLine) {
+  const std::string source =
+      "// detlint:allow(real-time-wait) covers only the next line\n"
+      "cv.wait_for(lk, t);\n"
+      "cv.wait_for(lk, t);\n";
+  const auto findings = scan_source("a.cpp", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(DetlintTest, AllowWithoutReasonReported) {
+  const auto findings = scan_source(
+      "a.cpp", "cv.wait_for(lk, t);  // detlint:allow(real-time-wait)\n");
+  ASSERT_EQ(findings.size(), 2u);  // the bad allow AND the unsuppressed finding
+  EXPECT_TRUE(has_rule(findings, "bad-allow"));
+  EXPECT_TRUE(has_rule(findings, "real-time-wait"));
+}
+
+TEST(DetlintTest, CommentedOutCodeNotFlagged) {
+  EXPECT_TRUE(
+      scan_source("a.cpp", "// old: std::mutex mon_;\n").empty());
+  EXPECT_TRUE(
+      scan_source("a.cpp", "/* std::this_thread::get_id() */ int x;\n").empty());
+}
+
+TEST(DetlintTest, StringLiteralsNotFlagged) {
+  EXPECT_TRUE(
+      scan_source("a.cpp", "log(\"uses std::mutex internally\");\n").empty());
+}
+
+TEST(DetlintTest, MultiLineBlockCommentNotFlagged) {
+  const std::string source =
+      "/*\n"
+      " * std::mutex mon_;\n"
+      " * auto t = std::chrono::steady_clock::now();\n"
+      " */\n"
+      "int live_code = 1;\n";
+  EXPECT_TRUE(scan_source("a.cpp", source).empty());
+}
+
+TEST(DetlintTest, RulesListCoversAllRules) {
+  std::vector<std::string> names;
+  for (const auto& rule : adets::detlint::rules()) names.push_back(rule.name);
+  for (const char* expected :
+       {"wall-clock", "thread-id", "randomness", "unordered-iter", "raw-mutex",
+        "ptr-key", "real-time-wait", "bad-allow"}) {
+    EXPECT_TRUE(std::find(names.begin(), names.end(), expected) != names.end())
+        << expected;
+  }
+}
+
+TEST(DetlintTest, FindingFormatting) {
+  const Finding finding{"src/sched/x.cpp", 12, "wall-clock", "msg"};
+  EXPECT_EQ(adets::detlint::to_string(finding),
+            "src/sched/x.cpp:12: [wall-clock] msg");
+}
+
+// --- Whole-tree checks: the acceptance criteria of the linter. ---
+
+#ifdef ADETS_SOURCE_DIR
+
+TEST(DetlintTreeTest, SchedulerAndReplicationSourcesLintClean) {
+  const std::string root = ADETS_SOURCE_DIR;
+  const int rc = adets::detlint::run_cli(
+      {root + "/src/sched", root + "/src/replication"});
+  EXPECT_EQ(rc, 0) << "determinism lint regressions in src/sched or "
+                      "src/replication; run build/tools/detlint/detlint on "
+                      "them for details";
+}
+
+TEST(DetlintTreeTest, RacySchedulerFixtureIsCaught) {
+  const std::string root = ADETS_SOURCE_DIR;
+  const auto findings =
+      adets::detlint::scan_file(root + "/tests/racy_scheduler.hpp");
+  EXPECT_FALSE(findings.empty());
+  EXPECT_TRUE(has_rule(findings, "raw-mutex"));
+  EXPECT_TRUE(has_rule(findings, "real-time-wait"));
+  const int rc =
+      adets::detlint::run_cli({root + "/tests/racy_scheduler.hpp"});
+  EXPECT_NE(rc, 0);
+}
+
+#endif  // ADETS_SOURCE_DIR
+
+}  // namespace

@@ -64,6 +64,42 @@ class GcsExtraTest : public ::testing::Test {
   std::vector<std::unique_ptr<GroupService>> services_;
 };
 
+TEST_F(GcsExtraTest, TailGapRepairedByHeartbeat) {
+  // A dropped FINAL SeqMsg leaves the receiver's holdback empty, so the
+  // gap NACK never fires, and once the submitter has seen its own
+  // message sequenced nobody retransmits it either.  The only repair
+  // path is the highest known sequence piggybacked on heartbeats.
+  // Suspicion is effectively disabled so the outage cannot be healed by
+  // a view change instead.
+  GroupServiceConfig patient;
+  patient.suspect_timeout = std::chrono::seconds(30);
+  const NodeId a = net_->create_node();
+  const NodeId b = net_->create_node();
+  GroupService sa(*net_, a, patient);
+  GroupService sb(*net_, b, patient);
+  Sink s0;
+  Sink s1;
+  const GroupId g(7);
+  const std::vector<NodeId> members{a, b};
+  sa.join(g, members, s0.callbacks());
+  sb.join(g, members, s1.callbacks());
+  sa.submit(g, Bytes{1});
+  ASSERT_TRUE(s0.wait_count(1));
+  ASSERT_TRUE(s1.wait_count(1));
+
+  // Cut a -> b only: the sequencer (a, lowest id) sequences and delivers
+  // locally; b misses the tail message and will never see a later one.
+  transport::LinkConfig dead;
+  dead.drop_probability = 1.0;
+  net_->set_link(a, b, dead);
+  sa.submit(g, Bytes{2});
+  ASSERT_TRUE(s0.wait_count(2));
+  net_->set_link(a, b, transport::LinkConfig{});
+
+  ASSERT_TRUE(s1.wait_count(2, std::chrono::seconds(10)));
+  EXPECT_EQ(s0.messages, s1.messages);
+}
+
 TEST_F(GcsExtraTest, MultipleGroupsAreIsolated) {
   Sink a0;
   Sink a1;

@@ -1,0 +1,366 @@
+#include "detlint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace adets::detlint {
+namespace {
+
+const char* kWallClock = "wall-clock";
+const char* kThreadId = "thread-id";
+const char* kRandomness = "randomness";
+const char* kUnorderedIter = "unordered-iter";
+const char* kRawMutex = "raw-mutex";
+const char* kPtrKey = "ptr-key";
+const char* kRealTimeWait = "real-time-wait";
+const char* kBadAllow = "bad-allow";
+
+/// True if `path` ends with `suffix` (normalised to forward slashes).
+bool path_ends_with(const std::string& path, const std::string& suffix) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p.size() >= suffix.size() &&
+         p.compare(p.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Files allowed to use a construct the rule bans elsewhere.
+bool exempt(const std::string& path, const std::string& rule) {
+  if (rule == kWallClock) {
+    // The single sanctioned wall-clock escape hatch.
+    return path_ends_with(path, "common/clock.hpp") ||
+           path_ends_with(path, "common/clock.cpp");
+  }
+  if (rule == kRandomness) {
+    // Seeded deterministic Rng lives here.
+    return path_ends_with(path, "common/rng.hpp");
+  }
+  if (rule == kRawMutex || rule == kRealTimeWait) {
+    // The annotated wrapper layer and the lock-order validator ARE the
+    // sanctioned replacement; they wrap the raw std types by design.
+    return path_ends_with(path, "common/mutex.hpp") ||
+           path_ends_with(path, "common/lock_order.cpp") ||
+           path_ends_with(path, "common/lock_order.hpp");
+  }
+  return false;
+}
+
+struct Line {
+  std::string code;      // comments and literal contents stripped
+  std::string comment;   // comment text of this line (for allows)
+};
+
+/// Splits source into lines with comments and string/char literals
+/// stripped from the code part (literal text is blanked, quotes kept).
+std::vector<Line> preprocess(const std::string& content) {
+  std::vector<Line> lines;
+  Line cur;
+  enum class State { kCode, kString, kChar, kLineComment, kBlockComment };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      lines.push_back(std::move(cur));
+      cur = Line{};
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          cur.code += '"';
+          state = State::kString;
+        } else if (c == '\'') {
+          cur.code += '\'';
+          state = State::kChar;
+        } else {
+          cur.code += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          cur.code += '"';
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          cur.code += '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kLineComment:
+        cur.comment += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          cur.comment += c;
+        }
+        break;
+    }
+  }
+  lines.push_back(std::move(cur));
+  return lines;
+}
+
+bool blank(const std::string& s) {
+  return std::all_of(s.begin(), s.end(),
+                     [](unsigned char c) { return std::isspace(c) != 0; });
+}
+
+/// Names of unordered containers declared in this file.  Handles nested
+/// template arguments by matching angle brackets manually.
+std::set<std::string> unordered_names(const std::vector<Line>& lines) {
+  std::set<std::string> names;
+  std::string all;
+  for (const auto& line : lines) {
+    all += line.code;
+    all += '\n';
+  }
+  static const std::regex decl(R"(unordered_(?:map|set|multimap|multiset)\s*<)");
+  for (auto it = std::sregex_iterator(all.begin(), all.end(), decl);
+       it != std::sregex_iterator(); ++it) {
+    std::size_t pos = static_cast<std::size_t>(it->position()) + it->length();
+    int depth = 1;
+    while (pos < all.size() && depth > 0) {
+      if (all[pos] == '<') depth++;
+      if (all[pos] == '>') depth--;
+      pos++;
+    }
+    // Expect: [&*]* identifier [attribute-macro] followed by ; = { or (
+    while (pos < all.size() &&
+           (std::isspace(static_cast<unsigned char>(all[pos])) != 0 ||
+            all[pos] == '&' || all[pos] == '*')) {
+      pos++;
+    }
+    std::string name;
+    while (pos < all.size() &&
+           (std::isalnum(static_cast<unsigned char>(all[pos])) != 0 ||
+            all[pos] == '_')) {
+      name += all[pos++];
+    }
+    if (!name.empty() && name != "const") names.insert(name);
+  }
+  return names;
+}
+
+struct Allows {
+  // line (1-based) -> rules explicitly allowed there
+  std::map<int, std::set<std::string>> by_line;
+  std::vector<Finding> bad;  // allow comments missing a reason
+};
+
+Allows collect_allows(const std::string& path, const std::vector<Line>& lines) {
+  Allows allows;
+  static const std::regex allow_re(R"(detlint:allow\(([A-Za-z0-9_-]+)\)\s*(.*))");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const int lineno = static_cast<int>(i) + 1;
+    std::smatch m;
+    std::string text = lines[i].comment;
+    while (std::regex_search(text, m, allow_re)) {
+      const std::string rule = m[1];
+      const std::string reason = m[2];
+      if (blank(reason)) {
+        allows.bad.push_back(
+            {path, lineno, kBadAllow,
+             "detlint:allow(" + rule + ") has no justification; write "
+             "`// detlint:allow(" + rule + ") <why this is deterministic>`"});
+      } else {
+        allows.by_line[lineno].insert(rule);
+        // A comment-only line covers the next code line.
+        if (blank(lines[i].code) && i + 1 < lines.size()) {
+          allows.by_line[lineno + 1].insert(rule);
+        }
+      }
+      text = m.suffix();
+    }
+  }
+  return allows;
+}
+
+struct Pattern {
+  const char* rule;
+  std::regex re;
+  const char* message;
+};
+
+const std::vector<Pattern>& patterns() {
+  static const std::vector<Pattern>* p = new std::vector<Pattern>{
+      {kWallClock,
+       std::regex(R"((steady_clock|system_clock|high_resolution_clock)\s*::\s*now\b)"),
+       "direct wall-clock read; route real-time needs through common::Clock "
+       "(common/clock.hpp), which is the single sanctioned escape hatch"},
+      {kThreadId, std::regex(R"(this_thread\s*::\s*get_id\b)"),
+       "OS thread ids differ across replicas; use the scheduler-assigned "
+       "common::ThreadId instead"},
+      {kRandomness, std::regex(R"(\brandom_device\b|\bs?rand\s*\()"),
+       "unseeded randomness diverges across replicas; use common::Rng with a "
+       "replica-independent seed (common/rng.hpp)"},
+      {kRawMutex,
+       std::regex(R"(std\s*::\s*(recursive_mutex|timed_mutex|recursive_timed_mutex|shared_timed_mutex|shared_mutex|mutex|condition_variable_any|condition_variable)\b)"),
+       "raw std synchronisation type in scheduler/replication state; use "
+       "common::Mutex / common::CondVar (annotated for clang thread-safety "
+       "and hooked into the lock-order validator)"},
+      {kPtrKey, std::regex(R"(std\s*::\s*(?:multi)?(?:map|set)\s*<\s*[^,<>]*\*)"),
+       "pointer-keyed ordered container: iteration follows allocation "
+       "addresses, which differ across replicas; key by a stable id"},
+      {kRealTimeWait, std::regex(R"(\.\s*wait_(for|until)\s*\()"),
+       "timed wait: the wakeup time depends on this replica's clock; route "
+       "the outcome through the totally-ordered stream (see the timeout "
+       "broadcast mechanism) or justify with detlint:allow"},
+  };
+  return *p;
+}
+
+}  // namespace
+
+const std::vector<Rule>& rules() {
+  static const std::vector<Rule>* r = new std::vector<Rule>{
+      {kWallClock, "wall-clock reads outside common/clock.hpp"},
+      {kThreadId, "std::this_thread::get_id in replicated code"},
+      {kRandomness, "rand()/std::random_device (unseeded randomness)"},
+      {kUnorderedIter, "iteration over std::unordered_map/unordered_set"},
+      {kRawMutex, "raw std::mutex/std::condition_variable declarations"},
+      {kPtrKey, "pointer-keyed std::map/std::set"},
+      {kRealTimeWait, "timed condition-variable waits (wait_for/wait_until)"},
+      {kBadAllow, "detlint:allow without a justification"},
+  };
+  return *r;
+}
+
+std::vector<Finding> scan_source(const std::string& path, const std::string& content) {
+  const std::vector<Line> lines = preprocess(content);
+  Allows allows = collect_allows(path, lines);
+  std::vector<Finding> findings = std::move(allows.bad);
+
+  const std::set<std::string> unordered = unordered_names(lines);
+  static const std::regex range_for(R"(for\s*\([^;()]*:\s*(?:this\s*->\s*)?([A-Za-z_]\w*)\s*\))");
+  static const std::regex begin_call(R"(\b([A-Za-z_]\w*)\s*\.\s*c?(?:begin|end|rbegin|rend)\s*\()");
+
+  auto allowed = [&](int lineno, const std::string& rule) {
+    const auto it = allows.by_line.find(lineno);
+    return it != allows.by_line.end() && it->second.count(rule) > 0;
+  };
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const int lineno = static_cast<int>(i) + 1;
+    const std::string& code = lines[i].code;
+    if (blank(code)) continue;
+
+    for (const auto& pattern : patterns()) {
+      if (exempt(path, pattern.rule)) continue;
+      if (!std::regex_search(code, pattern.re)) continue;
+      if (allowed(lineno, pattern.rule)) continue;
+      findings.push_back({path, lineno, pattern.rule, pattern.message});
+    }
+
+    if (!unordered.empty() && !exempt(path, kUnorderedIter) &&
+        !allowed(lineno, kUnorderedIter)) {
+      std::set<std::string> hit;
+      std::smatch m;
+      std::string text = code;
+      while (std::regex_search(text, m, range_for)) {
+        if (unordered.count(m[1]) > 0) hit.insert(m[1]);
+        text = m.suffix();
+      }
+      text = code;
+      while (std::regex_search(text, m, begin_call)) {
+        if (unordered.count(m[1]) > 0) hit.insert(m[1]);
+        text = m.suffix();
+      }
+      for (const auto& name : hit) {
+        findings.push_back(
+            {path, lineno, kUnorderedIter,
+             "iteration over unordered container `" + name +
+                 "`: hash order is replica-local; use std::map/std::set or "
+                 "copy into a sorted sequence first"});
+      }
+    }
+  }
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) { return a.line < b.line; });
+  return findings;
+}
+
+std::vector<Finding> scan_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {{path, 0, "io-error", "cannot open file"}};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return scan_source(path, buffer.str());
+}
+
+std::string to_string(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" +
+         finding.rule + "] " + finding.message;
+}
+
+int run_cli(const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  if (!paths.empty() && paths.front() == "--list-rules") {
+    for (const auto& rule : rules()) {
+      std::printf("%-16s %s\n", rule.name.c_str(), rule.summary.c_str());
+    }
+    return 0;
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: detlint [--list-rules] <file-or-directory>...\n");
+    return 2;
+  }
+  static const std::set<std::string> kExtensions = {".hpp", ".h",  ".hh", ".ipp",
+                                                    ".cpp", ".cc", ".cxx"};
+  std::vector<std::string> files;
+  for (const auto& path : paths) {
+    if (fs::is_directory(path)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file() &&
+            kExtensions.count(entry.path().extension().string()) > 0) {
+          files.push_back(entry.path().string());
+        }
+      }
+    } else {
+      files.push_back(path);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::size_t total = 0;
+  for (const auto& file : files) {
+    for (const auto& finding : scan_file(file)) {
+      std::printf("%s\n", to_string(finding).c_str());
+      total++;
+    }
+  }
+  if (total > 0) {
+    std::fprintf(stderr, "detlint: %zu finding(s) in %zu file(s) scanned\n",
+                 total, files.size());
+    return 1;
+  }
+  std::fprintf(stderr, "detlint: clean (%zu file(s) scanned)\n", files.size());
+  return 0;
+}
+
+}  // namespace adets::detlint

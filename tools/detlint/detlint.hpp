@@ -1,0 +1,57 @@
+// detlint: the ADETS determinism linter.
+//
+// Scans scheduler / replication translation units for constructs that
+// violate the determinism contract stated in src/sched/api.hpp: a
+// scheduler may consume only the totally-ordered event stream and
+// per-thread program order, so anything that smuggles replica-local
+// information into a decision path is a bug that the divergence auditor
+// would otherwise only catch at runtime.
+//
+// The scanner is deliberately lexical (comment/string-stripped regex
+// over each line, plus a declared-identifier pass for container
+// tracking), not a full AST: the rules target constructs that are
+// textually recognisable, false positives are suppressible with an
+// explicit justification, and the tool must build in seconds with no
+// dependency beyond the standard library.
+//
+// Suppression: `// detlint:allow(<rule>) <reason>` on the offending
+// line, or alone on the line directly above it.  The reason is
+// mandatory; an allow without one is itself reported (rule bad-allow).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace adets::detlint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Rule {
+  std::string name;
+  std::string summary;
+};
+
+/// The rule set, in reporting order.
+const std::vector<Rule>& rules();
+
+/// Scans one in-memory source.  `path` is used for exemption matching
+/// (e.g. common/clock.* may read the wall clock) and for Finding::file.
+std::vector<Finding> scan_source(const std::string& path, const std::string& content);
+
+/// Reads and scans one file; returns a single io-error finding if the
+/// file cannot be read.
+std::vector<Finding> scan_file(const std::string& path);
+
+/// Formats a finding as "file:line: [rule] message".
+std::string to_string(const Finding& finding);
+
+/// CLI entry: scans every path (files, or directories recursed for
+/// C++ sources), prints findings, returns 1 if any were found.
+int run_cli(const std::vector<std::string>& paths);
+
+}  // namespace adets::detlint

@@ -1,0 +1,9 @@
+#include <string>
+#include <vector>
+
+#include "detlint.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths(argv + 1, argv + argc);
+  return adets::detlint::run_cli(paths);
+}
