@@ -9,7 +9,9 @@ namespace adets::common {
 namespace {
 
 double initial_scale() {
-  if (const char* env = std::getenv("ADETS_TIME_SCALE")) {
+  // NOLINT below: read once during static init, before any thread that
+  // could call setenv exists.
+  if (const char* env = std::getenv("ADETS_TIME_SCALE")) {  // NOLINT(concurrency-mt-unsafe)
     const double parsed = std::strtod(env, nullptr);
     if (parsed > 0.0) return parsed;
   }

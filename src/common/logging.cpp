@@ -24,7 +24,10 @@ LogLevel parse_level(const char* text) {
 }
 
 std::atomic<int>& level_storage() {
-  static std::atomic<int> level{static_cast<int>(parse_level(std::getenv("ADETS_LOG")))};
+  // NOLINT below: read once under the static-local init guard; nothing
+  // in the process calls setenv.
+  static std::atomic<int> level{
+      static_cast<int>(parse_level(std::getenv("ADETS_LOG")))};  // NOLINT(concurrency-mt-unsafe)
   return level;
 }
 

@@ -1,0 +1,30 @@
+#include "common/mc_hooks.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace adets::mchook {
+
+std::atomic<Interceptor*> g_interceptor{nullptr};
+
+void install(Interceptor* interceptor) {
+  Interceptor* expected = nullptr;
+  if (!g_interceptor.compare_exchange_strong(expected, interceptor,
+                                             std::memory_order_acq_rel)) {
+    std::fprintf(stderr, "adets-mc: an interceptor is already installed; "
+                         "model-checking runs are process-exclusive\n");
+    std::abort();
+  }
+}
+
+void uninstall(Interceptor* interceptor) {
+  Interceptor* expected = interceptor;
+  if (!g_interceptor.compare_exchange_strong(expected, nullptr,
+                                             std::memory_order_acq_rel)) {
+    std::fprintf(stderr, "adets-mc: uninstall of an interceptor that is "
+                         "not installed\n");
+    std::abort();
+  }
+}
+
+}  // namespace adets::mchook

@@ -13,6 +13,16 @@
 // hooks.  That is intentional: a thread blocked in wait acquires nothing
 // else, so treating the monitor as continuously held adds no false
 // ordering edges and keeps the relock cheap.
+//
+// Every blocking/wake operation additionally consults the adets-mc
+// interception point (common/mc_hooks.hpp).  Outside a model-checking
+// run that is one relaxed atomic load of a null pointer; during a run
+// the checker serialises managed threads and decides grant/wakeup
+// order itself (see docs/model-checking.md).  The hook contract keeps
+// the real primitive state authoritative: lock() blocks in the hook
+// until the checker grants, then takes the real mutex (uncontended by
+// construction); unlock() releases the real mutex first and tells the
+// checker afterwards.
 #pragma once
 
 #include <condition_variable>
@@ -20,6 +30,7 @@
 
 #include "common/annotations.hpp"
 #include "common/clock.hpp"
+#include "common/mc_hooks.hpp"
 #ifdef ADETS_LOCK_ORDER_CHECK
 #include "common/lock_order.hpp"
 #endif
@@ -46,6 +57,9 @@ class ADETS_CAPABILITY("mutex") Mutex {
 #ifdef ADETS_LOCK_ORDER_CHECK
     lock_order::on_acquire(this, name_);
 #endif
+    // A handled hook call blocks until the checker grants this thread the
+    // mutex; the real lock below is then uncontended.
+    if (auto* mc = mchook::active()) mc->mutex_lock(this, name_);
     m_.lock();
   }
 
@@ -54,9 +68,23 @@ class ADETS_CAPABILITY("mutex") Mutex {
 #ifdef ADETS_LOCK_ORDER_CHECK
     lock_order::on_release(this);
 #endif
+    // Real release above precedes the model release, so a thread the
+    // checker schedules next never blocks on the real mutex.
+    if (auto* mc = mchook::active()) mc->mutex_unlock(this);
   }
 
   bool try_lock() ADETS_TRY_ACQUIRE(true) {
+    if (auto* mc = mchook::active()) {
+      bool acquired = false;
+      if (mc->mutex_try_lock(this, name_, &acquired)) {
+        if (!acquired) return false;
+        m_.lock();  // model grant implies the real mutex is free
+#ifdef ADETS_LOCK_ORDER_CHECK
+        lock_order::on_try_acquire(this, name_);
+#endif
+        return true;
+      }
+    }
     const bool ok = m_.try_lock();
 #ifdef ADETS_LOCK_ORDER_CHECK
     if (ok) lock_order::on_try_acquire(this, name_);
@@ -113,6 +141,10 @@ class ADETS_SCOPED_CAPABILITY MutexLock {
   /// For CondVar only.
   std::unique_lock<std::mutex>& native() { return lk_; }
 
+  /// The wrapped Mutex; CondVar passes it to the model-checker hook so a
+  /// wait can be modelled as release+block+reacquire of that mutex.
+  [[nodiscard]] Mutex* mutex() const { return mu_; }
+
  private:
   Mutex* mu_;
   std::unique_lock<std::mutex> lk_;
@@ -132,26 +164,58 @@ class CondVar {
   CondVar(const CondVar&) = delete;
   CondVar& operator=(const CondVar&) = delete;
 
-  void notify_one() { cv_.notify_one(); }
-  void notify_all() { cv_.notify_all(); }
+  // The real notify always fires even when a checker consumes the event:
+  // during run teardown unmanaged threads may be parked on the real
+  // condvar, and a spurious notify is harmless by the wait-loop contract.
+  void notify_one() {
+    if (auto* mc = mchook::active()) mc->cv_notify(this, /*all=*/false);
+    cv_.notify_one();
+  }
 
-  void wait(MutexLock& lk) { cv_.wait(lk.native()); }
+  void notify_all() {
+    if (auto* mc = mchook::active()) mc->cv_notify(this, /*all=*/true);
+    cv_.notify_all();
+  }
+
+  void wait(MutexLock& lk) {
+    if (auto* mc = mchook::active()) {
+      bool timed_out = false;
+      if (mc->cv_wait(this, lk.mutex(), /*timed=*/false, &timed_out)) return;
+    }
+    cv_.wait(lk.native());
+  }
+
+  // The predicate overloads are explicit loops over the single-step waits
+  // (instead of forwarding to the std predicate forms) so that every
+  // blocking step passes through the hook above.  Semantics match the
+  // std equivalents: predicate evaluated with the lock held, timed form
+  // keeps one absolute deadline across spurious wakeups.
 
   template <typename Pred>
   void wait(MutexLock& lk, Pred pred) {
-    cv_.wait(lk.native(), std::move(pred));
+    while (!pred()) wait(lk);
   }
 
   std::cv_status wait_for(MutexLock& lk, Duration timeout) {
-    return cv_.wait_for(lk.native(), timeout);
+    return wait_until(lk, Clock::now() + timeout);
   }
 
   template <typename Pred>
   bool wait_for(MutexLock& lk, Duration timeout, Pred pred) {
-    return cv_.wait_for(lk.native(), timeout, std::move(pred));
+    const TimePoint deadline = Clock::now() + timeout;
+    while (!pred()) {
+      if (wait_until(lk, deadline) == std::cv_status::timeout) return pred();
+    }
+    return true;
   }
 
   std::cv_status wait_until(MutexLock& lk, TimePoint deadline) {
+    if (auto* mc = mchook::active()) {
+      bool timed_out = false;
+      if (mc->cv_wait(this, lk.mutex(), /*timed=*/true, &timed_out)) {
+        return timed_out ? std::cv_status::timeout : std::cv_status::no_timeout;
+      }
+    }
     return cv_.wait_until(lk.native(), deadline);
   }
 

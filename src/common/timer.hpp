@@ -13,8 +13,10 @@
 #include <map>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "common/clock.hpp"
+#include "common/mc_hooks.hpp"
 
 namespace adets::common {
 
@@ -29,8 +31,14 @@ class TimerService {
   TimerService& operator=(const TimerService&) = delete;
 
   /// Schedules `fn` to run after `delay` (real time); returns a handle
-  /// usable with cancel().
+  /// usable with cancel().  Under a model-checking run the expiry is
+  /// virtualised: the checker owns when (and whether) `fn` fires, so the
+  /// clock never gates exploration (see docs/model-checking.md).
   TimerId schedule(Duration delay, std::function<void()> fn) {
+    if (auto* mc = mchook::active()) {
+      std::uint64_t virtual_id = 0;
+      if (mc->timer_schedule(&fn, &virtual_id)) return virtual_id;
+    }
     const std::lock_guard<std::mutex> guard(mutex_);
     const TimerId id = next_id_++;
     timers_.emplace(Key{Clock::now() + delay, id}, std::move(fn));
@@ -40,6 +48,10 @@ class TimerService {
 
   /// Cancels a pending timer; returns false if it already fired/ran.
   bool cancel(TimerId id) {
+    if (auto* mc = mchook::active()) {
+      bool cancelled = false;
+      if (mc->timer_cancel(id, &cancelled)) return cancelled;
+    }
     const std::lock_guard<std::mutex> guard(mutex_);
     for (auto it = timers_.begin(); it != timers_.end(); ++it) {
       if (it->first.id == id) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/clock.hpp"
 #include "common/logging.hpp"
 
 namespace adets::gcs {
@@ -579,7 +580,7 @@ void GroupService::timer_loop() {
         resend_pending(GroupId(group_raw), sender, /*force=*/false);
       }
     }
-    std::this_thread::sleep_for(config_.timer_tick);
+    common::Clock::sleep_real(config_.timer_tick);
   }
 }
 

@@ -1,0 +1,318 @@
+#include "mc/explorer.hpp"
+
+#include <chrono>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace adets::mc {
+
+namespace {
+
+bool independent(const ChoiceKey& a, const Footprint& fa, const ChoiceKey& b,
+                 const Footprint& fb) {
+  return a.actor != b.actor && !fa.conflicts(fb);
+}
+
+/// One node of the persistent DFS path.  Fields other than `chosen` and
+/// `footprint` survive truncation: re-running the same prefix reaches
+/// the same state, so enabled/done/backtrack/sleep stay valid.
+struct Frame {
+  std::vector<ChoiceKey> enabled;
+  std::map<ChoiceKey, Footprint> done;  // explored here, with footprints
+  std::set<ChoiceKey> backtrack;        // DPOR-added (exhaustive mode)
+  std::vector<std::pair<ChoiceKey, Footprint>> sleep;
+  ChoiceKey chosen;
+  Footprint footprint;
+};
+
+class Explorer {
+ public:
+  Explorer(const Scenario& scenario, const std::string& strategy,
+           const ExploreOptions& options)
+      : scenario_(scenario),
+        strategy_(strategy),
+        options_(options),
+        bounded_mode_(options.preemption_bound >= 0),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ExploreReport run() {
+    ExploreReport report;
+    report.strategy = strategy_;
+    report.scenario = scenario_.name;
+
+    ExecutionResult result = execute({}, report);
+    absorb(result);
+    while (true) {
+      if (!result.violations.empty()) {
+        minimize(result, report);
+        return finish(report, /*exhausted=*/false);
+      }
+      if (budget_exceeded(report)) return finish(report, /*exhausted=*/false);
+      SchedulePlan plan;
+      if (!next_prefix(&plan)) return finish(report, /*exhausted=*/true);
+      result = execute(plan, report);
+      absorb(result);
+    }
+  }
+
+ private:
+  ExecutionResult execute(const SchedulePlan& plan, ExploreReport& report) {
+    ExecutionResult result =
+        run_execution(scenario_, strategy_, plan, options_.run);
+    report.schedules++;
+    if (result.completed) report.completed++;
+    if (result.bounded) report.bounded++;
+    if (options_.progress && report.schedules % 50 == 0) {
+      options_.progress("  " + std::to_string(report.schedules) +
+                        " schedules explored");
+    }
+    return result;
+  }
+
+  bool budget_exceeded(const ExploreReport& report) const {
+    if (options_.max_schedules != 0 &&
+        report.schedules >= options_.max_schedules) {
+      return true;
+    }
+    if (options_.max_seconds > 0.0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start_;
+      if (elapsed.count() >= options_.max_seconds) return true;
+    }
+    return false;
+  }
+
+  /// Folds an execution's steps into the persistent path: updates the
+  /// shared prefix, appends fresh frames, recomputes sleep sets along
+  /// the way, and (exhaustive mode) adds DPOR backtrack points.
+  void absorb(const ExecutionResult& result) {
+    const std::vector<StepInfo>& steps = result.steps;
+    if (steps.size() < stack_.size()) stack_.resize(steps.size());
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      if (i == stack_.size()) {
+        Frame frame;
+        frame.enabled = steps[i].enabled;
+        stack_.push_back(std::move(frame));
+      }
+      Frame& frame = stack_[i];
+      frame.chosen = steps[i].key;
+      frame.footprint = steps[i].footprint;
+      frame.done[frame.chosen] = frame.footprint;
+    }
+    // Sleep sets: child sleep = {x in sleep(parent) + previously
+    // explored at parent : independent of the parent's chosen step}.
+    for (std::size_t i = 0; i + 1 < stack_.size(); ++i) {
+      Frame& parent = stack_[i];
+      Frame& child = stack_[i + 1];
+      child.sleep.clear();
+      const auto keep = [&](const ChoiceKey& key, const Footprint& fp) {
+        if (independent(key, fp, parent.chosen, parent.footprint)) {
+          child.sleep.emplace_back(key, fp);
+        }
+      };
+      for (const auto& [key, fp] : parent.sleep) keep(key, fp);
+      for (const auto& [key, fp] : parent.done) {
+        if (!(key == parent.chosen)) keep(key, fp);
+      }
+    }
+    if (!bounded_mode_) dpor_update(steps);
+  }
+
+  void dpor_update(const std::vector<StepInfo>& steps) {
+    for (std::size_t j = 0; j < steps.size() && j < stack_.size(); ++j) {
+      const StepInfo& step = steps[j];
+      if (step.footprint.resources.empty()) continue;
+      // Last earlier step of a different actor touching a shared
+      // resource: that's where reordering could matter.
+      for (std::size_t i = j; i-- > 0;) {
+        const Frame& racer = stack_[i];
+        if (racer.chosen.actor == step.key.actor) continue;
+        if (!racer.footprint.conflicts(step.footprint)) continue;
+        Frame& target = stack_[i];
+        bool actor_enabled = false;
+        for (const ChoiceKey& e : target.enabled) {
+          if (e.actor == step.key.actor) {
+            target.backtrack.insert(e);
+            actor_enabled = true;
+          }
+        }
+        if (!actor_enabled) {
+          for (const ChoiceKey& e : target.enabled) target.backtrack.insert(e);
+        }
+        break;
+      }
+    }
+  }
+
+  /// Cumulative preemption count of the current path's first `depth`
+  /// choices, per CHESS: switching away from an actor that still had an
+  /// enabled choice costs one preemption.
+  int preemptions_up_to(std::size_t depth) const {
+    int count = 0;
+    for (std::size_t i = 1; i < depth && i < stack_.size(); ++i) {
+      const ChoiceKey& prev = stack_[i - 1].chosen;
+      const ChoiceKey& cur = stack_[i].chosen;
+      if (cur.actor == prev.actor) continue;
+      for (const ChoiceKey& e : stack_[i].enabled) {
+        if (e.actor == prev.actor) {
+          count++;
+          break;
+        }
+      }
+    }
+    return count;
+  }
+
+  bool is_preemption(std::size_t frame_index, const ChoiceKey& candidate) const {
+    if (frame_index == 0) return false;
+    const ChoiceKey& prev = stack_[frame_index - 1].chosen;
+    if (candidate.actor == prev.actor) return false;
+    for (const ChoiceKey& e : stack_[frame_index].enabled) {
+      if (e.actor == prev.actor) return true;
+    }
+    return false;
+  }
+
+  /// Picks the deepest unexplored backtrack point and truncates the path
+  /// to it.  Returns false when the search space is exhausted.
+  bool next_prefix(SchedulePlan* plan) {
+    for (std::size_t i = stack_.size(); i-- > 0;) {
+      Frame& frame = stack_[i];
+      const std::vector<ChoiceKey> candidates =
+          bounded_mode_ ? frame.enabled
+                        : std::vector<ChoiceKey>(frame.backtrack.begin(),
+                                                 frame.backtrack.end());
+      for (const ChoiceKey& c : candidates) {
+        if (frame.done.count(c) != 0) continue;
+        const Footprint* asleep = nullptr;
+        for (const auto& [key, fp] : frame.sleep) {
+          if (key == c) {
+            asleep = &fp;
+            break;
+          }
+        }
+        if (asleep != nullptr) {
+          // Provably redundant here; mark done (with its real footprint —
+          // it must still wake descendants that conflict with it).
+          frame.done[c] = *asleep;
+          continue;
+        }
+        if (bounded_mode_) {
+          const int total = preemptions_up_to(i) + (is_preemption(i, c) ? 1 : 0);
+          if (total > options_.preemption_bound) continue;
+        }
+        plan->prefix.clear();
+        for (std::size_t k = 0; k < i; ++k) {
+          plan->prefix.push_back(stack_[k].chosen);
+        }
+        plan->prefix.push_back(c);
+        // Sleep set in force while executing `c`: everything already
+        // asleep at this frame plus every sibling explored before it.
+        // The harness filters it against each executed step from here on.
+        plan->sleep = frame.sleep;
+        for (const auto& [key, fp] : frame.done) {
+          plan->sleep.emplace_back(key, fp);
+        }
+        stack_.resize(i + 1);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Greedy delta-debugging over deviation points: find the shortest
+  /// prefix of non-default choices that still reproduces a violation,
+  /// letting the default policy complete the rest of the run.
+  void minimize(const ExecutionResult& violating, ExploreReport& report) {
+    std::vector<ChoiceKey> choices;
+    std::vector<std::size_t> deviations;
+    for (std::size_t i = 0; i < violating.steps.size(); ++i) {
+      choices.push_back(violating.steps[i].key);
+      if (!violating.steps[i].was_default) deviations.push_back(i);
+    }
+    report.found_violation = true;
+    report.violations = violating.violations;
+    report.witness = choices;
+    report.witness_deviations = deviations.size();
+
+    // Try keeping only the first j deviations, smallest j first; the
+    // full deviation set (= the original run) is the implicit fallback.
+    for (std::size_t j = 0; j < deviations.size(); ++j) {
+      SchedulePlan plan;
+      if (j > 0) {
+        plan.prefix.assign(choices.begin(),
+                           choices.begin() +
+                               static_cast<std::ptrdiff_t>(deviations[j - 1] + 1));
+      }
+      const ExecutionResult candidate =
+          run_execution(scenario_, strategy_, plan, options_.run);
+      report.schedules++;
+      if (candidate.violations.empty()) continue;
+      report.violations = candidate.violations;
+      report.witness.clear();
+      report.witness_deviations = 0;
+      for (const StepInfo& s : candidate.steps) {
+        report.witness.push_back(s.key);
+        if (!s.was_default) report.witness_deviations++;
+      }
+      break;
+    }
+  }
+
+  ExploreReport finish(ExploreReport& report, bool exhausted) {
+    report.exhausted = exhausted && !report.found_violation;
+    std::string& out = report.report;
+    out += "strategy " + strategy_ + ", scenario " + scenario_.name + ": " +
+           std::to_string(report.schedules) + " schedules (" +
+           std::to_string(report.completed) + " completed, " +
+           std::to_string(report.bounded) + " budget-bounded)";
+    out += bounded_mode_ ? ", preemption bound " +
+                               std::to_string(options_.preemption_bound)
+                         : ", exhaustive DPOR";
+    out += report.exhausted ? ", space exhausted\n" : "\n";
+    if (report.found_violation) {
+      out += "VIOLATION";
+      for (const Violation& v : report.violations) {
+        out += " [" + v.property + "]";
+      }
+      out += ", minimized to " + std::to_string(report.witness_deviations) +
+             " deviation(s) over " + std::to_string(report.witness.size()) +
+             " steps\n";
+      for (const Violation& v : report.violations) {
+        out += "--- " + v.property + "\n" + v.detail;
+        if (!v.detail.empty() && v.detail.back() != '\n') out += "\n";
+      }
+    } else {
+      out += "no violations\n";
+    }
+    return report;
+  }
+
+  const Scenario& scenario_;
+  const std::string strategy_;
+  const ExploreOptions options_;
+  const bool bounded_mode_;
+  const std::chrono::steady_clock::time_point start_;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace
+
+ExploreReport explore(const Scenario& scenario, const std::string& strategy,
+                      const ExploreOptions& options) {
+  Explorer explorer(scenario, strategy, options);
+  return explorer.run();
+}
+
+ExecutionResult replay_trace(const Scenario& scenario,
+                             const std::string& strategy,
+                             const std::vector<ChoiceKey>& choices,
+                             const RunOptions& options) {
+  SchedulePlan plan;
+  plan.prefix = choices;
+  plan.strict_prefix = true;
+  return run_execution(scenario, strategy, plan, options);
+}
+
+}  // namespace adets::mc

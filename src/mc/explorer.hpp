@@ -1,0 +1,72 @@
+// Schedule-space exploration for adets-mc.
+//
+// Stateless DFS over scheduling choices: each schedule is realised by
+// re-running the scenario from scratch with a choice prefix
+// (mc/harness.hpp), then the recorded steps extend the persistent path
+// and seed backtrack points.  Two modes:
+//
+//  - exhaustive (preemption_bound < 0): dynamic partial-order reduction
+//    with sleep sets — backtrack points are added only where two steps
+//    of different actors touched a common resource, which collapses the
+//    (huge) cross-replica interleaving product to the schedules that can
+//    actually differ.
+//  - bounded (preemption_bound >= 0): every enabled choice is a
+//    backtrack point, but paths are pruned once they exceed the given
+//    number of preemptions (a context switch away from a still-enabled
+//    actor).  CHESS's result that most concurrency bugs need very few
+//    preemptions makes this the practical CI mode.
+//
+// The first violating execution stops the search; its deviation points
+// (choices differing from the default completion policy) are then
+// greedily delta-debugged: the smallest prefix of deviations that still
+// reproduces a violation becomes the witness trace, replayable
+// byte-for-byte via `adetsmc --replay`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mc/harness.hpp"
+
+namespace adets::mc {
+
+struct ExploreOptions {
+  /// >= 0 switches to bounded mode with that many allowed preemptions.
+  int preemption_bound = -1;
+  std::uint64_t max_schedules = 0;  // 0 = unlimited
+  double max_seconds = 0.0;         // 0 = unlimited
+  RunOptions run;
+  /// Optional progress sink (one line per message).
+  std::function<void(const std::string&)> progress;
+};
+
+struct ExploreReport {
+  std::string strategy;
+  std::string scenario;
+  std::uint64_t schedules = 0;  // executions performed (incl. minimisation)
+  std::uint64_t completed = 0;
+  std::uint64_t bounded = 0;    // abandoned by step/timeout budgets
+  /// True when the search space was fully covered (within the preemption
+  /// bound, if any) before any budget expired.
+  bool exhausted = false;
+  bool found_violation = false;
+  std::vector<Violation> violations;  // of the minimised witness run
+  std::vector<ChoiceKey> witness;     // full choice sequence, replayable
+  std::size_t witness_deviations = 0;
+  std::string report;  // human-readable summary
+};
+
+[[nodiscard]] ExploreReport explore(const Scenario& scenario,
+                                    const std::string& strategy,
+                                    const ExploreOptions& options);
+
+/// Re-runs a recorded choice sequence exactly (strict prefix): any
+/// divergence from the recording is itself reported as a violation.
+[[nodiscard]] ExecutionResult replay_trace(const Scenario& scenario,
+                                           const std::string& strategy,
+                                           const std::vector<ChoiceKey>& choices,
+                                           const RunOptions& options = {});
+
+}  // namespace adets::mc

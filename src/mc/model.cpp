@@ -1,0 +1,38 @@
+#include "mc/model.hpp"
+
+#include <cstdio>
+
+namespace adets::mc {
+
+std::string to_string(const ChoiceKey& key) {
+  const char letter = key.kind == ChoiceKey::Kind::kStep      ? 'S'
+                      : key.kind == ChoiceKey::Kind::kTimeout ? 'O'
+                                                              : 'T';
+  std::string out(1, letter);
+  out += ' ';
+  out += std::to_string(key.actor);
+  out += ' ';
+  out += std::to_string(key.arg);
+  return out;
+}
+
+std::optional<ChoiceKey> parse_choice(const std::string& line) {
+  char letter = 0;
+  unsigned long long actor = 0;
+  unsigned long long arg = 0;
+  if (std::sscanf(line.c_str(), " %c %llu %llu", &letter, &actor, &arg) != 3) {
+    return std::nullopt;
+  }
+  ChoiceKey key;
+  switch (letter) {
+    case 'S': key.kind = ChoiceKey::Kind::kStep; break;
+    case 'O': key.kind = ChoiceKey::Kind::kTimeout; break;
+    case 'T': key.kind = ChoiceKey::Kind::kTimer; break;
+    default: return std::nullopt;
+  }
+  key.actor = actor;
+  key.arg = arg;
+  return key;
+}
+
+}  // namespace adets::mc

@@ -1,0 +1,99 @@
+// Shared value types of the adets-mc model checker.
+//
+// A *choice* is one scheduling decision the controller can make at a
+// quiescent point: let a parked task take its next step, resolve a
+// blocked timed wait as a timeout, or fire a virtualised timer.  Choice
+// keys are stable across re-executions of the same prefix (task ids are
+// assigned in spawn-ticket order, timer ids in creation order), which is
+// what makes stateless replay work: a recorded key sequence re-selects
+// the same transitions from scratch.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace adets::mc {
+
+struct ChoiceKey {
+  enum class Kind : std::uint8_t {
+    kStep = 0,     // parked task takes its next step (run/grant/wake/start)
+    kTimeout = 1,  // resolve this task's timed wait as a timeout
+    kTimer = 2,    // fire virtual timer `arg` on the timer-runner task
+  };
+  Kind kind = Kind::kStep;
+  std::uint64_t actor = 0;  // task id taking the transition
+  std::uint64_t arg = 0;    // timer id for kTimer, else 0
+
+  friend bool operator==(const ChoiceKey&, const ChoiceKey&) = default;
+  friend auto operator<=>(const ChoiceKey&, const ChoiceKey&) = default;
+};
+
+[[nodiscard]] std::string to_string(const ChoiceKey& key);
+[[nodiscard]] std::optional<ChoiceKey> parse_choice(const std::string& line);
+
+/// Resources one executed step touched, as opaque tokens (tagged mutex /
+/// condvar / bus / app-lock identities).  Two steps of different actors
+/// commute iff their footprints are disjoint; the explorer's sleep sets
+/// and DPOR backtrack sets both key off this.
+struct Footprint {
+  std::vector<std::uint64_t> resources;
+
+  void add(std::uint64_t resource) {
+    if (std::find(resources.begin(), resources.end(), resource) ==
+        resources.end()) {
+      resources.push_back(resource);
+    }
+  }
+
+  [[nodiscard]] bool conflicts(const Footprint& other) const {
+    for (const std::uint64_t r : resources) {
+      if (std::find(other.resources.begin(), other.resources.end(), r) !=
+          other.resources.end()) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// One executed transition plus the exploration metadata the explorer
+/// needs to backtrack into this state later.
+struct StepInfo {
+  ChoiceKey key;
+  Footprint footprint;
+  std::vector<ChoiceKey> enabled;  // all enabled choices at the pre-state
+  bool was_default = false;        // chosen == completion policy's pick
+};
+
+/// One property violation, with everything needed for a deterministic
+/// report (no pointers, no wall-clock values).
+struct Violation {
+  std::string property;  // "grant-divergence", "state-divergence",
+                         // "cross-schedule-divergence", "deadlock",
+                         // "starvation", "hang"
+  std::string detail;
+};
+
+/// Outcome of running one scenario execution under one schedule.
+struct ExecutionResult {
+  std::vector<StepInfo> steps;
+  bool completed = false;   // all requests finished on every replica
+  bool deadlock = false;    // quiescent, not done, nothing enabled
+  bool bounded = false;     // abandoned by step/timeout-firing budget
+  bool hang = false;        // quiescence watchdog tripped
+  std::vector<Violation> violations;
+  /// Realized total order of the event bus (ids + payload bytes); two
+  /// executions with equal keys must produce equal outcomes.
+  std::string order_key;
+  /// Canonical rendering of the replicas' observable outcome (per-mutex
+  /// grant projections, state traces, final blackboard) used for the
+  /// cross-schedule determinism check.
+  std::string outcome;
+  /// Human-readable per-replica detail for violation reports.
+  std::string report;
+};
+
+}  // namespace adets::mc

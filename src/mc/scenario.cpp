@@ -1,0 +1,195 @@
+#include "mc/scenario.hpp"
+
+namespace adets::mc {
+
+namespace {
+
+// Three requests contending on two mutexes, with one nested hold.  The
+// bread-and-butter bounded-exploration scenario: every strategy
+// supports plain locks (exhaustive acceptance uses "locks2" below).
+void locks_body(McCtx& ctx) {
+  switch (ctx.request_id()) {
+    case 1:
+      ctx.lock(1);
+      ctx.trace(1, "r1:a");
+      ctx.lock(2);  // nested hold: 1 -> 2
+      ctx.trace(2, "r1:b");
+      ctx.set(2, "last2", 1);
+      ctx.unlock(2);
+      ctx.set(1, "last1", 1);
+      ctx.unlock(1);
+      break;
+    case 2:
+      ctx.lock(1);
+      ctx.trace(1, "r2:a");
+      ctx.set(1, "last1", 2);
+      ctx.unlock(1);
+      ctx.lock(2);
+      ctx.trace(2, "r2:b");
+      ctx.set(2, "last2", 2);
+      ctx.unlock(2);
+      break;
+    case 3:
+      ctx.lock(2);
+      ctx.trace(2, "r3:a");
+      ctx.set(2, "last2", 3);
+      ctx.unlock(2);
+      break;
+    default:
+      break;
+  }
+}
+
+// Two requests contending on one mutex.  The smallest scenario with a
+// real grant-order choice; its state space stays exhaustible even for
+// the broadcast-heavy strategies (LSA couples the replicas at every
+// grant announcement), so the exhaustive acceptance runs use this one.
+void locks2_body(McCtx& ctx) {
+  ctx.lock(1);
+  ctx.trace(1, "r" + std::to_string(ctx.request_id()));
+  ctx.set(1, "last", static_cast<std::int64_t>(ctx.request_id()));
+  ctx.unlock(1);
+}
+
+// One request crossing two mutexes.  No lock contention, but for the
+// communicating strategies this is the full protocol pipeline — leader
+// grant recording, dynamic mutex-id binding, table broadcast, follower
+// replay — under every delivery interleaving, and its state space stays
+// exhaustible even for LSA (the acceptance target).
+void single_body(McCtx& ctx) {
+  ctx.lock(1);
+  ctx.trace(1, "a");
+  ctx.set(1, "x", 1);
+  ctx.unlock(1);
+  ctx.lock(2);
+  ctx.trace(2, "b");
+  ctx.set(2, "y", 2);
+  ctx.unlock(2);
+}
+
+// Producer + two consumers on one condvar: explores wakeup order and
+// lost-notify windows (a consumer arriving after the broadcast must
+// still see the flag and skip the wait).
+void condvar_body(McCtx& ctx) {
+  switch (ctx.request_id()) {
+    case 1:
+    case 2:
+      ctx.lock(1);
+      while (ctx.get(1, "ready") == 0) {
+        ctx.wait(1, 7);
+      }
+      ctx.set(1, "consumed",
+              ctx.get(1, "consumed") + static_cast<std::int64_t>(ctx.request_id()));
+      ctx.unlock(1);
+      break;
+    case 3:
+      ctx.lock(1);
+      ctx.set(1, "ready", 1);
+      ctx.notify_all(1, 7);
+      ctx.unlock(1);
+      break;
+    default:
+      break;
+  }
+}
+
+// A timed wait racing a notify_one.  Whether the wait resolves notified
+// or timed out is a scheduling choice (the expiry is a totally ordered
+// timeout event); both resolutions must be replica-deterministic.
+void timeout_body(McCtx& ctx) {
+  switch (ctx.request_id()) {
+    case 1: {
+      ctx.lock(1);
+      const bool notified = ctx.wait_for(1, 7, common::paper_ms(5));
+      ctx.trace(1, notified ? "r1:notified" : "r1:timeout");
+      ctx.unlock(1);
+      break;
+    }
+    case 2:
+      ctx.lock(1);
+      ctx.trace(1, "r2:signal");
+      ctx.notify_one(1, 7);
+      ctx.unlock(1);
+      break;
+    default:
+      break;
+  }
+}
+
+// Two requests writing under one lock — enough for the RacyScheduler to
+// diverge: replicas grant the (real, unordered) lock in different
+// real-time orders, so the per-mutex traces disagree.
+void racy_locks_body(McCtx& ctx) {
+  ctx.lock(1);
+  ctx.trace(1, "r" + std::to_string(ctx.request_id()));
+  ctx.set(1, "last", static_cast<std::int64_t>(ctx.request_id()));
+  ctx.unlock(1);
+}
+
+std::vector<Scenario> build() {
+  std::vector<Scenario> out;
+
+  Scenario locks;
+  locks.name = "locks";
+  locks.description = "3 requests, 2 mutexes, one nested hold";
+  locks.submissions = {{1, 1}, {2, 2}, {3, 3}};
+  locks.body = locks_body;
+  out.push_back(std::move(locks));
+
+  Scenario locks2;
+  locks2.name = "locks2";
+  locks2.description = "2 requests on 1 mutex (exhaustive-friendly)";
+  locks2.submissions = {{1, 1}, {2, 2}};
+  locks2.body = locks2_body;
+  out.push_back(std::move(locks2));
+
+  Scenario single;
+  single.name = "single";
+  single.description = "1 request over 2 mutexes (exhaustive protocol scope)";
+  single.submissions = {{1, 1}};
+  single.body = single_body;
+  out.push_back(std::move(single));
+
+  Scenario condvar;
+  condvar.name = "condvar";
+  condvar.description = "producer + 2 consumers on one condvar";
+  condvar.needs_condvars = true;
+  condvar.submissions = {{1, 1}, {2, 2}, {3, 3}};
+  condvar.body = condvar_body;
+  out.push_back(std::move(condvar));
+
+  Scenario timeout;
+  timeout.name = "timeout";
+  timeout.description = "timed wait racing a notify_one";
+  timeout.needs_condvars = true;
+  timeout.needs_timed_wait = true;
+  timeout.submissions = {{1, 1}, {2, 2}};
+  timeout.body = timeout_body;
+  out.push_back(std::move(timeout));
+
+  Scenario racy;
+  racy.name = "racy_locks";
+  racy.description = "2 requests on 1 mutex (RacyScheduler negative control)";
+  racy.racy_only = true;
+  racy.submissions = {{1, 1}, {2, 2}};
+  racy.body = racy_locks_body;
+  out.push_back(std::move(racy));
+
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& scenarios() {
+  static const std::vector<Scenario> all = build();
+  return all;
+}
+
+const Scenario* find_scenario(const std::string& name) {
+  for (const Scenario& s : scenarios()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace adets::mc

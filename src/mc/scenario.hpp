@@ -1,0 +1,76 @@
+// Scenario catalogue of the adets-mc model checker.
+//
+// A scenario is a small, fully synchronisation-driven workload: a fixed
+// list of client requests plus one body function that every replica runs
+// for each request (dispatched on the request id).  Bodies only interact
+// with the world through McCtx — scheduler lock/unlock/wait/notify plus
+// a traced per-replica blackboard — so the realised behaviour of an
+// execution is exactly a function of the scheduling choices the checker
+// makes, and two replicas (or two schedules with the same totally
+// ordered event log) can be compared structurally.
+//
+// Discipline for bodies: trace()/get()/set() take the mutex id whose
+// critical section the access belongs to and must only be called while
+// that scheduler mutex is held.  Cross-replica comparison is done on the
+// per-mutex projections (a truly multithreaded strategy may interleave
+// *independent* critical sections differently in real time; the
+// determinism contract only fixes the order within each mutex).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace adets::mc {
+
+/// What a scenario body sees (implemented by the harness).
+class McCtx {
+ public:
+  virtual ~McCtx() = default;
+
+  [[nodiscard]] virtual std::uint64_t request_id() const = 0;
+  [[nodiscard]] virtual int replica() const = 0;
+
+  virtual void lock(std::uint64_t mutex) = 0;
+  virtual void unlock(std::uint64_t mutex) = 0;
+  /// Untimed wait; returns true (notified) by Java semantics.
+  virtual bool wait(std::uint64_t mutex, std::uint64_t condvar) = 0;
+  /// Timed wait; false means the wait resolved as a timeout.
+  virtual bool wait_for(std::uint64_t mutex, std::uint64_t condvar,
+                        common::Duration paper_timeout) = 0;
+  virtual void notify_one(std::uint64_t mutex, std::uint64_t condvar) = 0;
+  virtual void notify_all(std::uint64_t mutex, std::uint64_t condvar) = 0;
+
+  /// Records a shared-state access in the critical section of `mutex`.
+  virtual void trace(std::uint64_t mutex, const std::string& entry) = 0;
+  /// Blackboard cell read/write, also guarded by `mutex` (and traced).
+  [[nodiscard]] virtual std::int64_t get(std::uint64_t mutex,
+                                         const std::string& key) = 0;
+  virtual void set(std::uint64_t mutex, const std::string& key,
+                   std::int64_t value) = 0;
+};
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  /// Capability gates: strategies lacking these skip the scenario.
+  bool needs_condvars = false;
+  bool needs_timed_wait = false;
+  /// Only meaningful against the RacyScheduler test double.
+  bool racy_only = false;
+  /// Property 4: max number of other grants of the same mutex between a
+  /// thread's lock attempt and its acquisition.
+  int starvation_bound = 100;
+  /// (request id, logical thread id) pairs seeded into the total order.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> submissions;
+  std::function<void(McCtx&)> body;
+};
+
+[[nodiscard]] const std::vector<Scenario>& scenarios();
+[[nodiscard]] const Scenario* find_scenario(const std::string& name);
+
+}  // namespace adets::mc

@@ -1,0 +1,53 @@
+#include "mc/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace adets::mc {
+
+std::string render_trace(const TraceFile& trace) {
+  std::string out = "adetsmc-trace v1\n";
+  out += "strategy " + trace.strategy + "\n";
+  out += "scenario " + trace.scenario + "\n";
+  out += "choices " + std::to_string(trace.choices.size()) + "\n";
+  for (const ChoiceKey& c : trace.choices) out += to_string(c) + "\n";
+  return out;
+}
+
+std::optional<TraceFile> parse_trace(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "adetsmc-trace v1") return std::nullopt;
+  TraceFile trace;
+  std::size_t count = 0;
+  if (!std::getline(in, line) || line.rfind("strategy ", 0) != 0) return std::nullopt;
+  trace.strategy = line.substr(9);
+  if (!std::getline(in, line) || line.rfind("scenario ", 0) != 0) return std::nullopt;
+  trace.scenario = line.substr(9);
+  if (!std::getline(in, line) || line.rfind("choices ", 0) != 0) return std::nullopt;
+  count = std::stoul(line.substr(8));
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!std::getline(in, line)) return std::nullopt;
+    const auto key = parse_choice(line);
+    if (!key) return std::nullopt;
+    trace.choices.push_back(*key);
+  }
+  return trace;
+}
+
+bool save_trace(const std::string& path, const TraceFile& trace) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << render_trace(trace);
+  return static_cast<bool>(out);
+}
+
+std::optional<TraceFile> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return parse_trace(buffer.str());
+}
+
+}  // namespace adets::mc

@@ -1,0 +1,36 @@
+// On-disk witness trace format of adets-mc.
+//
+//   adetsmc-trace v1
+//   strategy <name>
+//   scenario <name>
+//   choices <count>
+//   S <actor> <arg>      (one line per choice: S=step, O=timeout, T=timer)
+//
+// A trace plus (strategy, scenario) fully determines an execution:
+// replaying it re-seeds the same request log and re-applies the same
+// choice sequence, erroring out loudly if the run ever diverges from
+// the recording.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mc/model.hpp"
+
+namespace adets::mc {
+
+struct TraceFile {
+  std::string strategy;
+  std::string scenario;
+  std::vector<ChoiceKey> choices;
+};
+
+[[nodiscard]] std::string render_trace(const TraceFile& trace);
+[[nodiscard]] std::optional<TraceFile> parse_trace(const std::string& text);
+
+/// File helpers; return false / nullopt on I/O errors.
+[[nodiscard]] bool save_trace(const std::string& path, const TraceFile& trace);
+[[nodiscard]] std::optional<TraceFile> load_trace(const std::string& path);
+
+}  // namespace adets::mc

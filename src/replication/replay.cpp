@@ -1,9 +1,9 @@
 #include "replication/replay.hpp"
 
 #include <map>
-#include <thread>
 
 #include "common/annotations.hpp"
+#include "common/clock.hpp"
 #include "common/logging.hpp"
 #include "common/mutex.hpp"
 #include "runtime/context.hpp"
@@ -139,7 +139,7 @@ ReplayResult replay_log(const runtime::EventLog& log, sched::SchedulerKind kind,
   const auto deadline = common::Clock::now() + timeout;
   while (scheduler->completed_requests() < app_requests &&
          common::Clock::now() < deadline) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    common::Clock::sleep_real(std::chrono::milliseconds(1));
   }
   result.requests_executed = scheduler->completed_requests();
   result.complete = result.requests_executed >= app_requests;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/clock.hpp"
+
 namespace adets::runtime {
 
 using common::GroupId;
@@ -110,7 +112,7 @@ bool Cluster::wait_drained(GroupId group, std::uint64_t count,
       if (net_->crashed(handle->nodes[i])) continue;
       while (handle->replicas[i]->completed_requests() < count) {
         if (common::Clock::now() > deadline) return false;
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        common::Clock::sleep_real(std::chrono::milliseconds(1));
       }
     }
     return true;

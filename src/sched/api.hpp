@@ -54,6 +54,12 @@ struct SchedulerCapabilities {
   bool timed_wait = false;
   bool true_multithreading = false;
   bool needs_communication = false;  // extra messages to grant locks
+  /// True when every internal blocking path of the strategy goes through
+  /// common::Mutex/CondVar/TimerService, so the adets-mc model checker
+  /// (src/mc/) can serialise and exhaustively explore its interleavings.
+  /// RacyScheduler-style test doubles that spin raw threads leave this
+  /// false and are explored through the coarser harness-level hooks only.
+  bool mc_explorable = false;
 };
 
 /// What kind of work a delivered request represents.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/logging.hpp"
+#include "common/mc_hooks.hpp"
 
 namespace adets::sched {
 
@@ -351,8 +352,20 @@ SchedulerBase::ThreadRecord& SchedulerBase::spawn_thread(
   record->internal = internal;
   ThreadRecord* raw = record.get();
   threads_.emplace(id.value(), std::move(record));
-  raw->os_thread = std::thread([this, raw] {
+  // The spawn ticket is drawn on the parent thread so the model checker
+  // assigns task identities in program (spawn) order even though the
+  // children start racing; outside a checking run the ticket is 0 and the
+  // begin/end calls are no-ops behind a null-pointer load.
+  const std::uint64_t mc_ticket =
+      mchook::active() ? mchook::active()->thread_spawning() : 0;
+  raw->os_thread = std::thread([this, raw, mc_ticket] {
     tls_slot() = raw;
+    if (auto* mc = mchook::active(); mc && mc_ticket != 0) {
+      mc->thread_begin(mc_ticket);
+      thread_body(*raw);
+      mc->thread_end();
+      return;
+    }
     thread_body(*raw);
   });
   return *raw;

@@ -22,6 +22,7 @@ SchedulerCapabilities PdsScheduler::capabilities() const {
   caps.timed_wait = true;
   caps.true_multithreading = true;
   caps.needs_communication = false;
+  caps.mc_explorable = true;
   return caps;
 }
 

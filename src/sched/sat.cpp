@@ -18,6 +18,7 @@ SchedulerCapabilities SatScheduler::capabilities() const {
   caps.timed_wait = true;
   caps.true_multithreading = false;
   caps.needs_communication = false;
+  caps.mc_explorable = true;
   return caps;
 }
 

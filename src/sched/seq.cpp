@@ -19,6 +19,7 @@ SchedulerCapabilities SeqScheduler::capabilities() const {
   caps.timed_wait = false;
   caps.true_multithreading = false;
   caps.needs_communication = false;
+  caps.mc_explorable = true;
   return caps;
 }
 
@@ -104,6 +105,7 @@ SchedulerCapabilities SlScheduler::capabilities() const {
   caps.timed_wait = false;
   caps.true_multithreading = false;
   caps.needs_communication = false;
+  caps.mc_explorable = true;
   return caps;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "common/mc_hooks.hpp"
 
 namespace adets::transport {
 
@@ -194,6 +195,13 @@ LinkConfig SimNetwork::link_for(NodeId src, NodeId dst) const {
   return it == links_.end() ? default_link_ : it->second;
 }
 
+SimNetwork::Pending SimNetwork::pop_earliest_due() {
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  Pending item = std::move(heap_.back());
+  heap_.pop_back();
+  return item;
+}
+
 void SimNetwork::dispatcher_loop() {
   common::MutexLock lock(mutex_);
   // Plain (predicate-free) waits: the enclosing loop re-evaluates the
@@ -212,9 +220,44 @@ void SimNetwork::dispatcher_loop() {
       heap_cv_.wait_until(lock, due);
       continue;
     }
-    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-    Pending item = std::move(heap_.back());
-    heap_.pop_back();
+    // Everything due at-or-before `now` is releasable; real latency only
+    // sampled one order, so under adets-mc the release order across
+    // *distinct* links becomes an exploration point.  Per-link FIFO stays
+    // inviolable: only the oldest due message of each (src,dst) link is a
+    // candidate, so the choice can never reorder within a link.
+    Pending item = [&]() ADETS_REQUIRES(mutex_) {
+      auto* mc = mchook::active();
+      if (mc == nullptr) return pop_earliest_due();
+      std::vector<Pending> released;
+      while (!heap_.empty() && heap_.front().due <= now) {
+        released.push_back(pop_earliest_due());
+      }
+      std::vector<std::size_t> candidates;
+      for (std::size_t i = 0; i < released.size(); ++i) {
+        bool first_on_link = true;
+        for (std::size_t j = 0; j < i; ++j) {
+          if (!released[i].node_event && !released[j].node_event &&
+              released[i].message.src == released[j].message.src &&
+              released[i].message.dst == released[j].message.dst) {
+            first_on_link = false;
+            break;
+          }
+        }
+        if (first_on_link) candidates.push_back(i);
+      }
+      const std::size_t pick =
+          candidates.empty()
+              ? 0
+              : candidates[mc->delivery_choice(candidates.size()) %
+                           candidates.size()];
+      Pending chosen = std::move(released[pick]);
+      for (std::size_t i = 0; i < released.size(); ++i) {
+        if (i == pick) continue;
+        heap_.push_back(std::move(released[i]));
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      }
+      return chosen;
+    }();
     if (item.node_event) {
       apply_node_event(*item.node_event);
       continue;

@@ -126,6 +126,7 @@ class SimNetwork {
 
   void dispatcher_loop();
   void node_loop(Node& node);
+  Pending pop_earliest_due() ADETS_REQUIRES(mutex_);
   void apply_node_event(const NodeEvent& event) ADETS_REQUIRES(mutex_);
   LinkConfig link_for(common::NodeId src, common::NodeId dst) const
       ADETS_REQUIRES(mutex_);

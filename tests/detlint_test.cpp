@@ -156,6 +156,29 @@ TEST(DetlintTest, PlainWaitNotFlagged) {
   EXPECT_TRUE(scan_source("a.cpp", "cv.wait(lk);\n").empty());
 }
 
+TEST(DetlintTest, SleepForFlagged) {
+  EXPECT_TRUE(has_rule(
+      scan_source("a.cpp",
+                  "std::this_thread::sleep_for(std::chrono::milliseconds(1));\n"),
+      "sleep-for"));
+  EXPECT_TRUE(has_rule(
+      scan_source("a.cpp", "std::this_thread::sleep_until(deadline);\n"),
+      "sleep-for"));
+}
+
+TEST(DetlintTest, ClockSleepFacadeNotFlagged) {
+  EXPECT_TRUE(
+      scan_source("a.cpp", "common::Clock::sleep_real(tick);\n").empty());
+  EXPECT_TRUE(
+      scan_source("a.cpp", "common::Clock::sleep_paper(paper_ms(5));\n").empty());
+}
+
+TEST(DetlintTest, SleepForExemptInCommonClock) {
+  EXPECT_TRUE(scan_source("src/common/clock.cpp",
+                          "std::this_thread::sleep_for(real_time);\n")
+                  .empty());
+}
+
 TEST(DetlintTest, AllowOnSameLineSuppresses) {
   const auto findings = scan_source(
       "a.cpp",
@@ -222,7 +245,7 @@ TEST(DetlintTest, RulesListCoversAllRules) {
   for (const auto& rule : adets::detlint::rules()) names.push_back(rule.name);
   for (const char* expected :
        {"wall-clock", "thread-id", "randomness", "unordered-iter", "raw-mutex",
-        "ptr-key", "real-time-wait", "bad-allow"}) {
+        "ptr-key", "real-time-wait", "sleep-for", "bad-allow"}) {
     EXPECT_TRUE(std::find(names.begin(), names.end(), expected) != names.end())
         << expected;
   }

@@ -20,6 +20,7 @@ const char* kUnorderedIter = "unordered-iter";
 const char* kRawMutex = "raw-mutex";
 const char* kPtrKey = "ptr-key";
 const char* kRealTimeWait = "real-time-wait";
+const char* kSleepFor = "sleep-for";
 const char* kBadAllow = "bad-allow";
 
 /// True if `path` ends with `suffix` (normalised to forward slashes).
@@ -32,8 +33,8 @@ bool path_ends_with(const std::string& path, const std::string& suffix) {
 
 /// Files allowed to use a construct the rule bans elsewhere.
 bool exempt(const std::string& path, const std::string& rule) {
-  if (rule == kWallClock) {
-    // The single sanctioned wall-clock escape hatch.
+  if (rule == kWallClock || rule == kSleepFor) {
+    // The single sanctioned wall-clock / real-sleep escape hatch.
     return path_ends_with(path, "common/clock.hpp") ||
            path_ends_with(path, "common/clock.cpp");
   }
@@ -228,6 +229,10 @@ const std::vector<Pattern>& patterns() {
        "timed wait: the wakeup time depends on this replica's clock; route "
        "the outcome through the totally-ordered stream (see the timeout "
        "broadcast mechanism) or justify with detlint:allow"},
+      {kSleepFor, std::regex(R"(this_thread\s*::\s*sleep_(for|until)\s*\()"),
+       "raw real-time sleep; use common::Clock::sleep_real / sleep_paper "
+       "(common/clock.hpp) so every real-time suspension goes through the "
+       "one scaled, auditable hatch"},
   };
   return *p;
 }
@@ -243,6 +248,7 @@ const std::vector<Rule>& rules() {
       {kRawMutex, "raw std::mutex/std::condition_variable declarations"},
       {kPtrKey, "pointer-keyed std::map/std::set"},
       {kRealTimeWait, "timed condition-variable waits (wait_for/wait_until)"},
+      {kSleepFor, "raw std::this_thread::sleep_for/sleep_until"},
       {kBadAllow, "detlint:allow without a justification"},
   };
   return *r;
