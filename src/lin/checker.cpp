@@ -1,0 +1,369 @@
+#include "lin/checker.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+
+namespace adets::lin {
+
+namespace {
+
+/// One invoke or response event in the stamp-ordered entry list.  The
+/// list is a doubly-linked chain over a flat vector; lift() unlinks an
+/// operation's pair of entries and unlift() relinks them, in strict
+/// LIFO discipline (the unlinked node keeps its neighbour indices).
+struct Entry {
+  std::size_t op = 0;     // index into the partition's op vector
+  bool is_call = false;   // invoke event (response otherwise)
+  std::uint64_t stamp = 0;
+  int match = -1;         // the paired entry; -1 for a pending call
+  int prev = -1;
+  int next = -1;
+};
+
+class Search {
+ public:
+  Search(const std::vector<Operation>& ops, const SequentialSpec& spec,
+         std::uint64_t budget)
+      : ops_(ops), spec_(spec), budget_(budget) {}
+
+  struct Outcome {
+    bool linearizable = false;
+    bool exhausted = false;
+    std::uint64_t states_explored = 0;
+    std::uint64_t memo_hits = 0;
+  };
+
+  Outcome run() {
+    Outcome out;
+    build_entries();
+    std::string state = spec_.initial_state();
+    std::vector<std::uint64_t> linearized((ops_.size() + 63) / 64, 0);
+    struct Frame {
+      int entry;
+      std::string prev_state;
+    };
+    std::vector<Frame> calls;
+    std::size_t remaining_returns = 0;
+    for (const Operation& op : ops_) {
+      if (!op.pending()) ++remaining_returns;
+    }
+
+    int entry = entries_.empty() ? -1 : head_;
+    for (;;) {
+      if (remaining_returns == 0) {
+        // Every completed op linearized; leftover pending ops are
+        // legitimately dropped (the request may never have executed).
+        out.linearizable = true;
+        return out;
+      }
+      if (out.states_explored + out.memo_hits >= budget_) {
+        out.exhausted = true;
+        return out;
+      }
+      if (entry >= 0 && entries_[entry].is_call) {
+        const Operation& op = ops_[entries_[entry].op];
+        const std::optional<std::string> successor =
+            op.pending() ? spec_.apply_pending(state, op) : spec_.apply(state, op);
+        bool advanced = false;
+        if (successor) {
+          set_bit(linearized, entries_[entry].op);
+          if (memo_.insert(memo_key(linearized, *successor)).second) {
+            ++out.states_explored;
+            calls.push_back(Frame{entry, state});
+            state = *successor;
+            if (!op.pending()) --remaining_returns;
+            lift(entry);
+            entry = head_;
+            advanced = true;
+          } else {
+            ++out.memo_hits;
+            clear_bit(linearized, entries_[entry].op);
+          }
+        }
+        if (!advanced) entry = entries_[entry].next;
+        continue;
+      }
+      // A response event (or the end of the list): every operation that
+      // could linearize before this point has been tried — backtrack.
+      if (calls.empty()) {
+        return out;  // non-linearizable
+      }
+      const Frame frame = calls.back();
+      calls.pop_back();
+      state = frame.prev_state;
+      clear_bit(linearized, entries_[frame.entry].op);
+      if (!ops_[entries_[frame.entry].op].pending()) ++remaining_returns;
+      unlift(frame.entry);
+      entry = entries_[frame.entry].next;
+    }
+  }
+
+ private:
+  void build_entries() {
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      Entry call;
+      call.op = i;
+      call.is_call = true;
+      call.stamp = ops_[i].invoke_stamp;
+      entries_.push_back(call);
+      if (!ops_[i].pending()) {
+        Entry ret;
+        ret.op = i;
+        ret.is_call = false;
+        ret.stamp = ops_[i].response_stamp;
+        entries_.push_back(ret);
+      }
+    }
+    std::vector<int> order(entries_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    // Equal stamps: treat as concurrent — calls sort before responses so
+    // the pair is considered overlapping rather than ordered.
+    std::sort(order.begin(), order.end(), [this](int a, int b) {
+      if (entries_[a].stamp != entries_[b].stamp) {
+        return entries_[a].stamp < entries_[b].stamp;
+      }
+      if (entries_[a].is_call != entries_[b].is_call) return entries_[a].is_call;
+      return entries_[a].op < entries_[b].op;
+    });
+    std::vector<int> call_of(ops_.size(), -1);
+    int prev = -1;
+    for (const int idx : order) {
+      if (prev < 0) {
+        head_ = idx;
+      } else {
+        entries_[prev].next = idx;
+      }
+      entries_[idx].prev = prev;
+      prev = idx;
+      if (entries_[idx].is_call) {
+        call_of[entries_[idx].op] = idx;
+      } else {
+        entries_[idx].match = call_of[entries_[idx].op];
+        entries_[call_of[entries_[idx].op]].match = idx;
+      }
+    }
+    if (prev >= 0) entries_[prev].next = -1;
+  }
+
+  void unlink(int idx) {
+    Entry& e = entries_[idx];
+    if (e.prev >= 0) {
+      entries_[e.prev].next = e.next;
+    } else {
+      head_ = e.next;
+    }
+    if (e.next >= 0) entries_[e.next].prev = e.prev;
+  }
+
+  void relink(int idx) {
+    Entry& e = entries_[idx];
+    if (e.prev >= 0) {
+      entries_[e.prev].next = idx;
+    } else {
+      head_ = idx;
+    }
+    if (e.next >= 0) entries_[e.next].prev = idx;
+  }
+
+  void lift(int call_idx) {
+    unlink(call_idx);
+    if (entries_[call_idx].match >= 0) unlink(entries_[call_idx].match);
+  }
+
+  void unlift(int call_idx) {
+    // Reverse order of lift(): the response first, then the call.
+    if (entries_[call_idx].match >= 0) relink(entries_[call_idx].match);
+    relink(call_idx);
+  }
+
+  static void set_bit(std::vector<std::uint64_t>& bits, std::size_t i) {
+    bits[i / 64] |= (std::uint64_t{1} << (i % 64));
+  }
+  static void clear_bit(std::vector<std::uint64_t>& bits, std::size_t i) {
+    bits[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+  }
+
+  static std::string memo_key(const std::vector<std::uint64_t>& bits,
+                              const std::string& state) {
+    std::string key;
+    key.reserve(bits.size() * sizeof(std::uint64_t) + 1 + state.size());
+    for (const std::uint64_t word : bits) {
+      for (int b = 0; b < 8; ++b) {
+        key.push_back(static_cast<char>((word >> (b * 8)) & 0xff));
+      }
+    }
+    key.push_back('\0');
+    key += state;
+    return key;
+  }
+
+  const std::vector<Operation>& ops_;
+  const SequentialSpec& spec_;
+  std::uint64_t budget_;
+  std::vector<Entry> entries_;
+  int head_ = -1;
+  std::unordered_set<std::string> memo_;  // membership only, never iterated
+};
+
+/// Checks one op vector outright (no partitioning, no minimization).
+Search::Outcome check_ops(const std::vector<Operation>& ops,
+                          const SequentialSpec& spec, std::uint64_t budget) {
+  return Search(ops, spec, budget).run();
+}
+
+/// The event-prefix of `ops` cut just after stamp `cutoff`: operations
+/// invoked later vanish, operations still in flight at the cut become
+/// pending (result unobserved).  Prefixes are *sound* witnesses — a
+/// prefix of a linearizable history is linearizable (restrict the
+/// witness; newly-pending ops have unconstrained results) — unlike
+/// removing arbitrary operations, which can turn a linearizable history
+/// into a non-linearizable one (drop the put feeding a get).
+std::vector<Operation> event_prefix(const std::vector<Operation>& ops,
+                                    std::uint64_t cutoff) {
+  std::vector<Operation> out;
+  for (const Operation& op : ops) {
+    if (op.invoke_stamp > cutoff) continue;
+    Operation copy = op;
+    if (!copy.pending() && copy.response_stamp > cutoff) {
+      copy.response_stamp = 0;
+      copy.result.clear();
+    }
+    out.push_back(std::move(copy));
+  }
+  return out;
+}
+
+std::string render_ops(const std::vector<Operation>& ops,
+                       const SequentialSpec& spec) {
+  std::string out;
+  for (const Operation& op : ops) {
+    out += "  c" + std::to_string(op.client) + " [" +
+           std::to_string(op.invoke_stamp) + "," +
+           (op.pending() ? std::string("?") : std::to_string(op.response_stamp)) +
+           "] " + spec.describe(op) + "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+CheckResult check_history(const History& history, const SequentialSpec& spec,
+                          const CheckOptions& options) {
+  CheckResult result;
+  result.ops = history.ops.size();
+
+  History sorted = history;
+  sorted.normalize();
+
+  // Partition when the spec places every operation (P-compositionality);
+  // one cross-partition op (KvStore "size") collapses to a single group.
+  std::map<std::string, std::vector<Operation>> partitions;
+  bool partitioned = options.partition;
+  if (partitioned) {
+    try {
+      for (const Operation& op : sorted.ops) {
+        const auto key = spec.partition_of(op);
+        if (!key) {
+          partitioned = false;
+          break;
+        }
+        partitions[*key].push_back(op);
+      }
+    } catch (const common::SerializationError&) {
+      partitioned = false;  // malformed args: check unpartitioned, reject there
+    }
+  }
+  if (!partitioned) {
+    partitions.clear();
+    partitions["*"] = sorted.ops;
+  }
+  result.partitions = partitions.size();
+
+  std::uint64_t budget = options.max_states;
+  for (const auto& [key, ops] : partitions) {
+    Search::Outcome outcome;
+    try {
+      outcome = check_ops(ops, spec, budget);
+    } catch (const common::SerializationError& error) {
+      result.explanation = "spec error decoding an operation payload: " +
+                           std::string(error.what()) + "\n" +
+                           render_ops(ops, spec);
+      return result;
+    }
+    result.states_explored += outcome.states_explored;
+    result.memo_hits += outcome.memo_hits;
+    budget -= std::min(budget, outcome.states_explored + outcome.memo_hits);
+    if (outcome.exhausted) {
+      result.exhausted_budget = true;
+      result.explanation =
+          "inconclusive: state budget exhausted in partition '" + key + "'";
+      return result;
+    }
+    if (!outcome.linearizable) {
+      // Minimal counterexample: the shortest event-prefix of this
+      // partition that is already non-linearizable.  Failure is
+      // monotone in the prefix (extending a non-linearizable prefix
+      // cannot make it linearizable), so binary-search the response
+      // count.  The last response inside the winning prefix is the
+      // observation no linearization can explain.
+      std::vector<Operation> candidate = ops;
+      std::optional<Operation> culprit;
+      if (options.minimize) {
+        std::vector<std::uint64_t> cuts;
+        for (const Operation& op : ops) {
+          if (!op.pending()) cuts.push_back(op.response_stamp);
+        }
+        std::sort(cuts.begin(), cuts.end());
+        const auto fails = [&](std::size_t idx) {
+          const auto trial_outcome =
+              check_ops(event_prefix(ops, cuts[idx]), spec, options.max_states);
+          return !trial_outcome.exhausted && !trial_outcome.linearizable;
+        };
+        // cuts can't be empty (an all-pending history trivially
+        // linearizes), but guard against a degenerate spec anyway.
+        if (!cuts.empty() && fails(cuts.size() - 1)) {
+          std::size_t lo = 0;
+          std::size_t hi = cuts.size() - 1;
+          while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (fails(mid)) {
+              hi = mid;
+            } else {
+              lo = mid + 1;
+            }
+          }
+          candidate = event_prefix(ops, cuts[hi]);
+          for (const Operation& op : candidate) {
+            if (op.response_stamp == cuts[hi]) culprit = op;
+          }
+        }
+      }
+      result.counterexample = candidate;
+      result.explanation = "non-linearizable";
+      if (partitions.size() > 1 || partitioned) {
+        result.explanation += " (partition '" + key + "')";
+      }
+      if (culprit) {
+        result.explanation +=
+            ": no linearization admits " + spec.describe(*culprit);
+      }
+      result.explanation += "\nminimal counterexample (" +
+                            std::to_string(candidate.size()) + " ops, " +
+                            std::to_string(result.counterexample_events()) +
+                            " events):\n" + render_ops(candidate, spec);
+      return result;
+    }
+  }
+
+  result.linearizable = true;
+  result.explanation =
+      "linearizable: " + std::to_string(result.ops) + " ops across " +
+      std::to_string(result.partitions) + " partition(s), " +
+      std::to_string(result.states_explored) + " states explored";
+  return result;
+}
+
+}  // namespace adets::lin

@@ -1,0 +1,159 @@
+#include "lin/history.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace adets::lin {
+
+namespace {
+
+constexpr const char* kHeader = "# adets-lin history v1";
+
+std::string hex(const common::Bytes& bytes) {
+  static const char* digits = "0123456789abcdef";
+  if (bytes.empty()) return "-";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const std::uint8_t b : bytes) {
+    out += digits[b >> 4];
+    out += digits[b & 0xf];
+  }
+  return out;
+}
+
+std::optional<common::Bytes> unhex(const std::string& text) {
+  if (text == "-") return common::Bytes{};
+  if (text.size() % 2 != 0) return std::nullopt;
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  common::Bytes out;
+  out.reserve(text.size() / 2);
+  for (std::size_t i = 0; i < text.size(); i += 2) {
+    const int hi = nibble(text[i]);
+    const int lo = nibble(text[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace
+
+void History::normalize() {
+  std::sort(ops.begin(), ops.end(), [](const Operation& a, const Operation& b) {
+    if (a.invoke_stamp != b.invoke_stamp) return a.invoke_stamp < b.invoke_stamp;
+    return a.client < b.client;
+  });
+}
+
+std::string to_string(const Operation& op) {
+  std::string out = "c" + std::to_string(op.client) + " [" +
+                    std::to_string(op.invoke_stamp) + ",";
+  out += op.pending() ? "?" : std::to_string(op.response_stamp);
+  out += "] " + op.method + "(" +
+         (op.args.empty() ? std::string() : "0x" + hex(op.args)) + ")";
+  if (op.pending()) {
+    out += " -> pending";
+  } else {
+    out += " -> (" +
+           (op.result.empty() ? std::string() : "0x" + hex(op.result)) + ")";
+  }
+  return out;
+}
+
+std::string render_history(const std::vector<Operation>& ops) {
+  std::string out;
+  for (const Operation& op : ops) out += "  " + to_string(op) + "\n";
+  return out;
+}
+
+void save_history(std::ostream& out, const History& history,
+                  const std::string& spec_name) {
+  out << kHeader << "\n";
+  if (!spec_name.empty()) out << "spec " << spec_name << "\n";
+  for (const Operation& op : history.ops) {
+    out << "op " << op.client << " " << op.invoke_stamp << " ";
+    if (op.pending()) {
+      out << "pending";
+    } else {
+      out << op.response_stamp;
+    }
+    out << " " << op.method << " " << hex(op.args) << " ";
+    if (op.pending()) {
+      out << "-";
+    } else {
+      out << hex(op.result);
+    }
+    out << "\n";
+  }
+}
+
+std::string history_to_text(const History& history, const std::string& spec_name) {
+  std::ostringstream out;
+  save_history(out, history, spec_name);
+  return out.str();
+}
+
+std::optional<LoadedHistory> load_history(std::istream& in, std::string* error) {
+  const auto fail = [error](int line_no, const std::string& what) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + what;
+    }
+    return std::nullopt;
+  };
+  LoadedHistory loaded;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "spec") {
+      fields >> loaded.spec_name;
+      continue;
+    }
+    if (tag != "op") return fail(line_no, "unknown record '" + tag + "'");
+    Operation op;
+    std::string response;
+    std::string args_hex;
+    std::string result_hex;
+    fields >> op.client >> op.invoke_stamp >> response >> op.method >>
+        args_hex >> result_hex;
+    if (fields.fail()) return fail(line_no, "truncated op record");
+    if (response == "pending") {
+      op.response_stamp = 0;
+    } else {
+      try {
+        op.response_stamp = std::stoull(response);
+      } catch (const std::exception&) {
+        return fail(line_no, "bad response stamp '" + response + "'");
+      }
+      if (op.response_stamp == 0) return fail(line_no, "response stamp 0 is reserved");
+      if (op.response_stamp <= op.invoke_stamp) {
+        return fail(line_no, "response stamp not after invoke stamp");
+      }
+    }
+    if (op.invoke_stamp == 0) return fail(line_no, "invoke stamp 0 is reserved");
+    const auto args = unhex(args_hex);
+    if (!args) return fail(line_no, "bad args hex");
+    op.args = *args;
+    const auto result = unhex(result_hex);
+    if (!result) return fail(line_no, "bad result hex");
+    if (op.pending() && result_hex != "-") {
+      return fail(line_no, "pending op cannot carry a result");
+    }
+    op.result = *result;
+    loaded.history.ops.push_back(std::move(op));
+  }
+  loaded.history.normalize();
+  return loaded;
+}
+
+}  // namespace adets::lin

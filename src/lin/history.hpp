@@ -1,0 +1,81 @@
+// Client-observable operation histories for linearizability checking.
+//
+// A History is the merged, stamp-ordered log of every client's
+// invoke/response events against one replicated object.  Stamps come
+// from one process-wide monotone counter (see recorder.hpp), so "A
+// completed before B was invoked" — the real-time order linearizability
+// must respect — is exactly `A.response_stamp < B.invoke_stamp`.
+// Operations whose response was never observed (client timeout, crash)
+// stay *pending*: a correct checker may linearize them anywhere after
+// their invocation or drop them entirely, because the request may or
+// may not have taken effect inside the group.
+//
+// Histories serialise to a line-oriented text format (one operation per
+// line, payloads hex-encoded) so fault-storm failures can be dumped as
+// artifacts and replayed offline with tools/lincheck.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/serialization.hpp"
+
+namespace adets::lin {
+
+/// One completed (or pending) method invocation as the client saw it.
+struct Operation {
+  /// Recording client index (0-based); only used for reports.
+  std::uint64_t client = 0;
+  /// Global monotone stamp taken just before submission (always > 0).
+  std::uint64_t invoke_stamp = 0;
+  /// Stamp taken when the reply arrived; 0 = pending (no reply observed).
+  std::uint64_t response_stamp = 0;
+  std::string method;
+  common::Bytes args;
+  common::Bytes result;  // meaningful only when !pending()
+
+  [[nodiscard]] bool pending() const { return response_stamp == 0; }
+
+  friend bool operator==(const Operation&, const Operation&) = default;
+};
+
+/// A merged history, ordered by invoke stamp.
+struct History {
+  std::vector<Operation> ops;
+
+  [[nodiscard]] std::size_t size() const { return ops.size(); }
+  [[nodiscard]] bool empty() const { return ops.empty(); }
+
+  /// Sorts by (invoke_stamp, client) — the canonical order every
+  /// consumer (checker, serializer, reports) assumes.
+  void normalize();
+};
+
+/// "c3 [17,42] put(...)->(...)" — one-line rendering for reports.
+[[nodiscard]] std::string to_string(const Operation& op);
+
+/// Multi-line rendering of a (sub-)history, one operation per line.
+[[nodiscard]] std::string render_history(const std::vector<Operation>& ops);
+
+/// Text serialization: header line, then one `op ...` line per entry.
+void save_history(std::ostream& out, const History& history,
+                  const std::string& spec_name);
+[[nodiscard]] std::string history_to_text(const History& history,
+                                          const std::string& spec_name);
+
+/// Parse result: the history plus the spec name recorded in the header
+/// (empty when the file predates the field or omitted it).
+struct LoadedHistory {
+  History history;
+  std::string spec_name;
+};
+
+/// Parses the text format; returns nullopt (with a message in `error`)
+/// on malformed input.
+[[nodiscard]] std::optional<LoadedHistory> load_history(std::istream& in,
+                                                        std::string* error);
+
+}  // namespace adets::lin

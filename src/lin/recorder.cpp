@@ -1,0 +1,61 @@
+#include "lin/recorder.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace adets::lin {
+
+std::size_t ClientRecorder::begin(const std::string& method,
+                                  const common::Bytes& args) {
+  Operation op;
+  op.client = index_;
+  op.method = method;
+  op.args = args;
+  op.invoke_stamp = owner_.next_stamp();
+  ops_.push_back(std::move(op));
+  return ops_.size() - 1;
+}
+
+void ClientRecorder::complete(std::size_t slot, const common::Bytes& result) {
+  Operation& op = ops_[slot];
+  op.result = result;
+  op.response_stamp = owner_.next_stamp();
+}
+
+HistoryRecorder::HistoryRecorder(std::size_t clients) {
+  clients_.reserve(clients);
+  for (std::size_t i = 0; i < clients; ++i) {
+    clients_.emplace_back(new ClientRecorder(*this, i));
+  }
+}
+
+History HistoryRecorder::merge() const {
+  History history;
+  for (const auto& client : clients_) {
+    history.ops.insert(history.ops.end(), client->ops_.begin(),
+                       client->ops_.end());
+  }
+  history.normalize();
+  return history;
+}
+
+std::string write_artifact(const std::string& file_name,
+                           const std::string& text) {
+  const char* env = std::getenv("ADETS_ARTIFACT_DIR");  // NOLINT(concurrency-mt-unsafe)
+  const std::filesystem::path dir =
+      (env != nullptr && *env != '\0') ? env : "adets-artifacts";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return {};
+  const std::filesystem::path path = dir / file_name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return {};
+  out << text;
+  out.close();
+  if (!out) return {};
+  return path.string();
+}
+
+}  // namespace adets::lin

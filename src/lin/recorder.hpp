@@ -1,0 +1,107 @@
+// History recording: the client-side layer that turns workload
+// invocations into a checkable History.
+//
+// Each client thread appends invoke/response events to its *own*
+// ClientRecorder — no lock is taken on the append path; the only shared
+// write is one atomic fetch_add on the global stamp counter, which is
+// what makes the recorded real-time order a total order that every
+// merge produces identically.  After the client threads have joined,
+// HistoryRecorder::merge() deterministically interleaves the per-client
+// logs by stamp.
+//
+// An invocation that throws (client timeout, replica crash) stays
+// *pending* in the log: the request may still have executed inside the
+// group, and the checker accounts for both possibilities.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lin/history.hpp"
+#include "runtime/client.hpp"
+
+namespace adets::lin {
+
+class HistoryRecorder;
+
+/// One client's private event log.  NOT thread-safe: owned by exactly
+/// one client thread between begin() and the recorder's merge().
+class ClientRecorder {
+ public:
+  /// Records the invocation event; returns the slot to complete later.
+  std::size_t begin(const std::string& method, const common::Bytes& args);
+
+  /// Records the response event for `slot`.
+  void complete(std::size_t slot, const common::Bytes& result);
+
+ private:
+  friend class HistoryRecorder;
+  ClientRecorder(HistoryRecorder& owner, std::uint64_t index)
+      : owner_(owner), index_(index) {}
+
+  HistoryRecorder& owner_;
+  std::uint64_t index_;
+  std::vector<Operation> ops_;
+};
+
+/// Owns the per-client logs and the global stamp counter.
+class HistoryRecorder {
+ public:
+  explicit HistoryRecorder(std::size_t clients);
+
+  HistoryRecorder(const HistoryRecorder&) = delete;
+  HistoryRecorder& operator=(const HistoryRecorder&) = delete;
+
+  [[nodiscard]] ClientRecorder& client(std::size_t index) {
+    return *clients_[index];
+  }
+  [[nodiscard]] std::size_t clients() const { return clients_.size(); }
+
+  /// Stamp-ordered merge of every client log.  Only call after all
+  /// recording threads have joined.
+  [[nodiscard]] History merge() const;
+
+  [[nodiscard]] std::uint64_t next_stamp() {
+    return stamp_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+ private:
+  std::atomic<std::uint64_t> stamp_{0};
+  std::vector<std::unique_ptr<ClientRecorder>> clients_;
+};
+
+/// Drop-in recording wrapper for runtime::Client: records the
+/// invocation, forwards it, records the response.  A timeout exception
+/// propagates and leaves the operation pending.
+class RecordingClient {
+ public:
+  RecordingClient(runtime::Client& client, ClientRecorder& recorder)
+      : client_(client), recorder_(recorder) {}
+
+  common::Bytes invoke(common::GroupId group, const std::string& method,
+                       const common::Bytes& args,
+                       std::chrono::milliseconds timeout = std::chrono::seconds(60)) {
+    const std::size_t slot = recorder_.begin(method, args);
+    common::Bytes result = client_.invoke(group, method, args, timeout);
+    recorder_.complete(slot, result);
+    return result;
+  }
+
+ private:
+  runtime::Client& client_;
+  ClientRecorder& recorder_;
+};
+
+/// Writes `text` to `<dir>/<file_name>` where `<dir>` is
+/// $ADETS_ARTIFACT_DIR (default "adets-artifacts"), creating the
+/// directory if needed.  Returns the path written, or "" on IO failure.
+/// This is how scenario failures become machine-readable, replayable
+/// artifacts (tools/lincheck reads the .history ones back).
+[[nodiscard]] std::string write_artifact(const std::string& file_name,
+                                         const std::string& text);
+
+}  // namespace adets::lin

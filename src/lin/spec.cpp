@@ -1,0 +1,327 @@
+#include "lin/spec.hpp"
+
+#include <deque>
+#include <map>
+#include <utility>
+
+namespace adets::lin {
+
+namespace {
+
+common::Bytes to_bytes(const std::string& s) {
+  return common::Bytes(s.begin(), s.end());
+}
+
+std::string from_writer(common::Writer& w) {
+  const common::Bytes bytes = w.take();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+// --- KV state --------------------------------------------------------------
+
+using KvState = std::map<std::string, std::string>;
+
+KvState parse_kv(const std::string& state) {
+  const common::Bytes bytes = to_bytes(state);
+  common::Reader r(bytes);
+  KvState map;
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string key = r.str();
+    map[std::move(key)] = r.str();
+  }
+  return map;
+}
+
+std::string serialize_kv(const KvState& map) {
+  common::Writer w;
+  w.u32(static_cast<std::uint32_t>(map.size()));
+  for (const auto& [key, value] : map) {  // std::map: canonical order
+    w.str(key);
+    w.str(value);
+  }
+  return from_writer(w);
+}
+
+// --- buffer state ----------------------------------------------------------
+
+struct BufState {
+  std::uint64_t produced = 0;
+  std::uint64_t consumed = 0;
+  std::deque<std::uint64_t> items;
+};
+
+BufState parse_buf(const std::string& state) {
+  const common::Bytes bytes = to_bytes(state);
+  common::Reader r(bytes);
+  BufState s;
+  s.produced = r.u64();
+  s.consumed = r.u64();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) s.items.push_back(r.u64());
+  return s;
+}
+
+std::string serialize_buf(const BufState& s) {
+  common::Writer w;
+  w.u64(s.produced);
+  w.u64(s.consumed);
+  w.u32(static_cast<std::uint32_t>(s.items.size()));
+  for (const std::uint64_t item : s.items) w.u64(item);
+  return from_writer(w);
+}
+
+}  // namespace
+
+// --- KvSpec ----------------------------------------------------------------
+
+std::string KvSpec::initial_state() const { return serialize_kv({}); }
+
+std::optional<std::string> KvSpec::apply(const std::string& state,
+                                         const Operation& op) const {
+  KvState map = parse_kv(state);
+  common::Reader args(op.args);
+  common::Reader result(op.result);
+
+  if (op.method == "put") {
+    const std::string key = args.str();
+    const std::string value = args.str();
+    const bool existed = map.count(key) > 0;
+    if (result.boolean() != existed) return std::nullopt;
+    map[key] = value;
+    return serialize_kv(map);
+  }
+  if (op.method == "get") {
+    const std::string key = args.str();
+    const auto it = map.find(key);
+    const bool exists = it != map.end();
+    if (result.boolean() != exists) return std::nullopt;
+    if (result.str() != (exists ? it->second : std::string())) return std::nullopt;
+    return state;  // read-only
+  }
+  if (op.method == "remove") {
+    const std::string key = args.str();
+    const bool existed = map.erase(key) > 0;
+    if (result.boolean() != existed) return std::nullopt;
+    return serialize_kv(map);
+  }
+  if (op.method == "cas") {
+    const std::string key = args.str();
+    const std::string expected = args.str();
+    const std::string value = args.str();
+    const auto it = map.find(key);
+    const bool success = it != map.end() && it->second == expected;
+    if (result.boolean() != success) return std::nullopt;
+    if (!success) return state;
+    it->second = value;
+    return serialize_kv(map);
+  }
+  if (op.method == "size") {
+    if (result.u64() != map.size()) return std::nullopt;
+    return state;
+  }
+  if (op.method == "watch") {
+    // The changed-flag reflects whether the bounded wait saw a version
+    // bump — a duration property no single linearization point decides —
+    // so only the returned value is checked against the current state.
+    const std::string key = args.str();
+    (void)result.boolean();
+    const auto it = map.find(key);
+    if (result.str() != (it != map.end() ? it->second : std::string())) {
+      return std::nullopt;
+    }
+    return state;
+  }
+  return std::nullopt;  // unknown method can never linearize
+}
+
+std::optional<std::string> KvSpec::apply_pending(const std::string& state,
+                                                const Operation& op) const {
+  // Every KvStore method's *effect* is a deterministic function of the
+  // state; only the reply (unobserved here) is unconstrained.
+  KvState map = parse_kv(state);
+  common::Reader args(op.args);
+  if (op.method == "put") {
+    const std::string key = args.str();
+    map[key] = args.str();
+    return serialize_kv(map);
+  }
+  if (op.method == "remove") {
+    map.erase(args.str());
+    return serialize_kv(map);
+  }
+  if (op.method == "cas") {
+    const std::string key = args.str();
+    const std::string expected = args.str();
+    const std::string value = args.str();
+    const auto it = map.find(key);
+    if (it != map.end() && it->second == expected) it->second = value;
+    return serialize_kv(map);
+  }
+  if (op.method == "get" || op.method == "size" || op.method == "watch") {
+    return state;  // read-only
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> KvSpec::partition_of(const Operation& op) const {
+  if (op.method == "size") return std::nullopt;  // touches every key
+  common::Reader args(op.args);
+  return args.str();  // every other method is keyed by its first arg
+}
+
+std::string KvSpec::describe(const Operation& op) const {
+  try {
+    common::Reader args(op.args);
+    std::string out = op.method + "(";
+    if (op.method == "put") {
+      out += args.str();
+      out += ", " + args.str();
+    } else if (op.method == "cas") {
+      out += args.str();
+      out += ", " + args.str();
+      out += ", " + args.str();
+    } else if (op.method == "get" || op.method == "remove" ||
+               op.method == "watch") {
+      out += args.str();
+    }
+    out += ")";
+    if (op.pending()) return out + " -> pending";
+    common::Reader result(op.result);
+    if (op.method == "put" || op.method == "remove" || op.method == "cas") {
+      return out + " -> " + (result.boolean() ? "true" : "false");
+    }
+    if (op.method == "get" || op.method == "watch") {
+      const bool flag = result.boolean();
+      return out + " -> (" + (flag ? "true" : "false") + ", \"" +
+             result.str() + "\")";
+    }
+    if (op.method == "size") return out + " -> " + std::to_string(result.u64());
+    return out;
+  } catch (const common::SerializationError&) {
+    return to_string(op);  // fall back to the raw rendering
+  }
+}
+
+// --- BufferSpec ------------------------------------------------------------
+
+std::string BufferSpec::initial_state() const { return serialize_buf({}); }
+
+std::optional<std::string> BufferSpec::apply(const std::string& state,
+                                             const Operation& op) const {
+  BufState s = parse_buf(state);
+  common::Reader args(op.args);
+  common::Reader result(op.result);
+
+  if (op.method == "produce") {
+    if (capacity_ > 0 && s.items.size() >= capacity_) return std::nullopt;
+    s.items.push_back(args.remaining() >= 8 ? args.u64() : 0);
+    s.produced++;
+    // Unbounded replies with the queue length after the push, bounded
+    // with the total produced count (see workload/objects.cpp).
+    const std::uint64_t expected =
+        capacity_ == 0 ? static_cast<std::uint64_t>(s.items.size()) : s.produced;
+    if (result.u64() != expected) return std::nullopt;
+    return serialize_buf(s);
+  }
+  if (op.method == "consume") {
+    if (s.items.empty()) return std::nullopt;  // blocking: cannot linearize here
+    const std::uint64_t head = s.items.front();
+    if (result.u64() != head) return std::nullopt;
+    s.items.pop_front();
+    s.consumed++;
+    return serialize_buf(s);
+  }
+  if (op.method == "poll_consume") {
+    const bool success = result.u64() != 0;
+    if (success != !s.items.empty()) return std::nullopt;
+    if (!success) return state;
+    if (result.u64() != s.items.front()) return std::nullopt;
+    s.items.pop_front();
+    s.consumed++;
+    return serialize_buf(s);
+  }
+  if (op.method == "poll_produce" && capacity_ > 0) {
+    const bool success = result.u64() != 0;
+    if (success != (s.items.size() < capacity_)) return std::nullopt;
+    if (!success) return state;
+    s.items.push_back(args.remaining() >= 8 ? args.u64() : 0);
+    s.produced++;
+    return serialize_buf(s);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> BufferSpec::apply_pending(const std::string& state,
+                                                     const Operation& op) const {
+  BufState s = parse_buf(state);
+  common::Reader args(op.args);
+  if (op.method == "produce") {
+    if (capacity_ > 0 && s.items.size() >= capacity_) return std::nullopt;
+    s.items.push_back(args.remaining() >= 8 ? args.u64() : 0);
+    s.produced++;
+    return serialize_buf(s);
+  }
+  if (op.method == "consume") {
+    if (s.items.empty()) return std::nullopt;
+    s.items.pop_front();
+    s.consumed++;
+    return serialize_buf(s);
+  }
+  if (op.method == "poll_consume") {
+    if (s.items.empty()) return state;
+    s.items.pop_front();
+    s.consumed++;
+    return serialize_buf(s);
+  }
+  if (op.method == "poll_produce" && capacity_ > 0) {
+    if (s.items.size() >= capacity_) return state;
+    s.items.push_back(args.remaining() >= 8 ? args.u64() : 0);
+    s.produced++;
+    return serialize_buf(s);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> BufferSpec::partition_of(const Operation&) const {
+  return std::string("q");  // one logical queue: a single partition
+}
+
+std::string BufferSpec::describe(const Operation& op) const {
+  try {
+    common::Reader args(op.args);
+    std::string out = op.method + "(";
+    if ((op.method == "produce" || op.method == "poll_produce") &&
+        args.remaining() >= 8) {
+      out += std::to_string(args.u64());
+    }
+    out += ")";
+    if (op.pending()) return out + " -> pending";
+    common::Reader result(op.result);
+    out += " -> " + std::to_string(result.u64());
+    if (result.remaining() >= 8) out += ", " + std::to_string(result.u64());
+    return out;
+  } catch (const common::SerializationError&) {
+    return to_string(op);
+  }
+}
+
+// --- registry --------------------------------------------------------------
+
+std::unique_ptr<SequentialSpec> make_spec(const std::string& name) {
+  if (name == "kv") return std::make_unique<KvSpec>();
+  if (name == "unbounded-buffer") return std::make_unique<BufferSpec>(0);
+  if (name == "bounded-buffer") return std::make_unique<BufferSpec>(2);
+  const std::string prefix = "bounded-buffer:";
+  if (name.rfind(prefix, 0) == 0) {
+    try {
+      const std::size_t capacity = std::stoul(name.substr(prefix.size()));
+      if (capacity > 0) return std::make_unique<BufferSpec>(capacity);
+    } catch (const std::exception&) {
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace adets::lin

@@ -13,6 +13,7 @@
 #include "common/mc_hooks.hpp"
 #include "common/mutex.hpp"
 #include "common/types.hpp"
+#include "lin/checker.hpp"
 #include "racy_scheduler.hpp"
 #include "replication/audit.hpp"
 #include "replication/statehash.hpp"
@@ -104,6 +105,8 @@ class Ctx final : public McCtx {
                                  const std::string& key) override;
   void set(std::uint64_t mutex, const std::string& key,
            std::int64_t value) override;
+  void record_op(const std::string& method, const common::Bytes& args,
+                 const common::Bytes& result) override;
 
  private:
   World& world_;
@@ -246,6 +249,35 @@ class World {
                                       std::to_string(value));
   }
 
+  void ctx_record(int replica, std::uint64_t request, const std::string& method,
+                  const common::Bytes& args, const common::Bytes& result) {
+    const std::lock_guard<std::mutex> guard(state_m_);
+    // Per-replica history: instantaneous ops in effect order (the body
+    // records while still holding the guarding mutex), so checking it
+    // verifies the replica executed a legal *sequential* run.
+    lin::Operation op;
+    op.client = request;
+    op.invoke_stamp = ++lin_stamp_;
+    op.response_stamp = ++lin_stamp_;
+    op.method = method;
+    op.args = args;
+    op.result = result;
+    replica_ops_[replica].push_back(op);
+    // Client-observable history: the first replica to finish a request
+    // is the reply the client would see (first-reply-wins, exactly the
+    // runtime::Client contract).  Invoke stamps were taken at seed time
+    // — every request is outstanding from submission — so this history
+    // is maximally concurrent and any violation found is real.
+    const auto it = client_ops_.find(request);
+    if (it != client_ops_.end() && it->second.pending()) {
+      it->second.method = method;
+      it->second.args = args;
+      it->second.result = result;
+      it->second.response_stamp =
+          scenario_.submissions.size() + (++client_responses_);
+    }
+  }
+
  private:
   struct Starve {
     int replica;
@@ -274,6 +306,16 @@ class World {
   }
 
   void seed() {
+    if (scenario_.lin_spec) {
+      const std::lock_guard<std::mutex> guard(state_m_);
+      std::uint64_t stamp = 0;
+      for (const auto& [id, logical] : scenario_.submissions) {
+        lin::Operation op;
+        op.client = logical;
+        op.invoke_stamp = ++stamp;  // responses start past submissions.size()
+        client_ops_[id] = std::move(op);
+      }
+    }
     for (const auto& [id, logical] : scenario_.submissions) {
       BusEvent event;
       event.kind = BusEvent::Kind::kRequest;
@@ -550,6 +592,33 @@ class World {
                render_state(1)});
     }
 
+    // Per-schedule linearizability property (scenarios with a lin_spec):
+    // each replica's local op order must be a legal sequential
+    // execution, and the merged first-reply history must be
+    // linearizable.  Not folded into `outcome`: which replica replies
+    // first is legitimate real-time nondeterminism, and outcome feeds
+    // the cross-schedule equal-order-implies-equal-outcome property.
+    if (scenario_.lin_spec) {
+      const lin::SequentialSpec& spec = *scenario_.lin_spec;
+      for (int r = 0; r < kReplicas; ++r) {
+        lin::History local;
+        local.ops = replica_ops_[r];
+        const lin::CheckResult check = lin::check_history(local, spec);
+        if (!check.linearizable && !check.exhausted_budget) {
+          result.violations.push_back(
+              {"non-linearizable-replica" + std::to_string(r),
+               check.explanation});
+        }
+      }
+      lin::History merged;
+      for (const auto& [id, op] : client_ops_) merged.ops.push_back(op);
+      const lin::CheckResult check = lin::check_history(merged, spec);
+      if (!check.linearizable && !check.exhausted_budget) {
+        result.violations.push_back({"non-linearizable-client",
+                                     check.explanation});
+      }
+    }
+
     // Property 4: starvation bound on lock acquisitions.
     for (const Starve& s : starvation_) {
       if (s.waited > static_cast<std::uint64_t>(scenario_.starvation_bound)) {
@@ -611,6 +680,12 @@ class World {
   std::array<std::map<std::string, std::int64_t>, kReplicas> blackboard_;
   std::array<std::map<std::uint64_t, std::uint64_t>, kReplicas> acq_count_;
   std::vector<Starve> starvation_;
+  // Linearizability recording (scenarios with a lin_spec); guarded by
+  // state_m_.  client_ops_ is keyed by request id.
+  std::uint64_t lin_stamp_ = 0;
+  std::uint64_t client_responses_ = 0;
+  std::array<std::vector<lin::Operation>, kReplicas> replica_ops_;
+  std::map<std::uint64_t, lin::Operation> client_ops_;
 };
 
 void WorldEnv::execute(const sched::Request& request) {
@@ -645,6 +720,10 @@ std::int64_t Ctx::get(std::uint64_t mutex, const std::string& key) {
 }
 void Ctx::set(std::uint64_t mutex, const std::string& key, std::int64_t value) {
   world_.ctx_set(replica_, mutex, key, value);
+}
+void Ctx::record_op(const std::string& method, const common::Bytes& args,
+                    const common::Bytes& result) {
+  world_.ctx_record(replica_, request_, method, args, result);
 }
 
 }  // namespace

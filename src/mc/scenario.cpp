@@ -126,6 +126,67 @@ void racy_locks_body(McCtx& ctx) {
   ctx.unlock(1);
 }
 
+// A single-key KV register on the blackboard (cell "k"; 0 = absent,
+// else the stored integer), speaking the KvStore wire encoding so the
+// recorded operations check against lin::KvSpec.  Two puts, a cas and a
+// get contend on mutex 1; record_op is called inside the critical
+// section so the per-replica op order is the effect order.
+void kvreg_body(McCtx& ctx) {
+  ctx.lock(1);
+  const std::int64_t prev = ctx.get(1, "k");
+  common::Writer args;
+  common::Writer result;
+  std::string method;
+  switch (ctx.request_id()) {
+    case 1:
+    case 2: {
+      method = "put";
+      args.str("k");
+      args.str(std::to_string(ctx.request_id()));
+      result.boolean(prev != 0);
+      ctx.set(1, "k", static_cast<std::int64_t>(ctx.request_id()));
+      break;
+    }
+    case 3: {
+      method = "cas";
+      args.str("k");
+      args.str("1");
+      args.str("3");
+      const bool success = prev == 1;
+      result.boolean(success);
+      if (success) ctx.set(1, "k", 3);
+      break;
+    }
+    default: {
+      method = "get";
+      args.str("k");
+      result.boolean(prev != 0);
+      result.str(prev != 0 ? std::to_string(prev) : std::string());
+      break;
+    }
+  }
+  ctx.record_op(method, args.take(), result.take());
+  ctx.unlock(1);
+}
+
+// Two fresh puts on the register.  Against the RacyScheduler the
+// replicas grant the lock in different real-time orders, so the client
+// (first-reply-wins) can observe *both* puts reporting existed=false —
+// a lost update no linearization admits.  The negative control for the
+// non-linearizable-client property.
+void racy_kvreg_body(McCtx& ctx) {
+  ctx.lock(1);
+  const std::int64_t prev = ctx.get(1, "k");
+  common::Writer args;
+  common::Writer result;
+  args.str("k");
+  args.str(std::to_string(ctx.request_id()));
+  result.boolean(prev != 0);
+  ctx.set(1, "k", static_cast<std::int64_t>(ctx.request_id()));
+  ctx.record_op("put", args.take(), result.take());
+  ctx.unlock(1);
+}
+
 std::vector<Scenario> build() {
   std::vector<Scenario> out;
 
@@ -174,6 +235,24 @@ std::vector<Scenario> build() {
   racy.submissions = {{1, 1}, {2, 2}};
   racy.body = racy_locks_body;
   out.push_back(std::move(racy));
+
+  Scenario kvreg;
+  kvreg.name = "kvreg";
+  kvreg.description = "KV register: 2 puts + cas + get, linearizability-checked";
+  kvreg.submissions = {{1, 1}, {2, 2}, {3, 3}, {4, 4}};
+  kvreg.body = kvreg_body;
+  kvreg.lin_spec = std::make_shared<lin::KvSpec>();
+  out.push_back(std::move(kvreg));
+
+  Scenario racy_kvreg;
+  racy_kvreg.name = "racy_kvreg";
+  racy_kvreg.description =
+      "2 fresh puts on the register (lin negative control)";
+  racy_kvreg.racy_only = true;
+  racy_kvreg.submissions = {{1, 1}, {2, 2}};
+  racy_kvreg.body = racy_kvreg_body;
+  racy_kvreg.lin_spec = std::make_shared<lin::KvSpec>();
+  out.push_back(std::move(racy_kvreg));
 
   return out;
 }

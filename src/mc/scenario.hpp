@@ -19,11 +19,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/serialization.hpp"
+#include "lin/spec.hpp"
 
 namespace adets::mc {
 
@@ -52,6 +55,14 @@ class McCtx {
                                          const std::string& key) = 0;
   virtual void set(std::uint64_t mutex, const std::string& key,
                    std::int64_t value) = 0;
+
+  /// Records the completed operation this request implements (payloads
+  /// in the wire encoding the scenario's `lin_spec` understands) for the
+  /// per-schedule linearizability property.  MUST be called while still
+  /// holding the mutex that guarded the operation's effect, so the
+  /// recorded per-replica order is the effect order.
+  virtual void record_op(const std::string& method, const common::Bytes& args,
+                         const common::Bytes& result) = 0;
 };
 
 struct Scenario {
@@ -68,6 +79,12 @@ struct Scenario {
   /// (request id, logical thread id) pairs seeded into the total order.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> submissions;
   std::function<void(McCtx&)> body;
+  /// When set, every execution additionally checks the operations the
+  /// body record_op()s: each replica's local order must be a legal
+  /// sequential execution, and the client-observable history (invokes
+  /// concurrent at submission, responses = first replica completion)
+  /// must be linearizable.
+  std::shared_ptr<const lin::SequentialSpec> lin_spec;
 };
 
 [[nodiscard]] const std::vector<Scenario>& scenarios();

@@ -2,9 +2,12 @@
 
 #include <atomic>
 #include <optional>
+#include <sstream>
 #include <thread>
 
+#include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "lin/recorder.hpp"
 #include "workload/kvstore.hpp"
 
 namespace adets::workload {
@@ -18,7 +21,9 @@ namespace {
 /// notify are exercised, so the same workload is valid for all six
 /// strategies (SEQ/SL have no condition-variable support; watch-based
 /// scenarios live in the fault-injection tests, gated to capable kinds).
-void run_client(runtime::Client& client, GroupId group, std::uint64_t seed,
+/// Every invocation goes through the recording wrapper so the run's
+/// client-observable history can be audited for linearizability.
+void run_client(lin::RecordingClient& client, GroupId group, std::uint64_t seed,
                 int client_index, int requests,
                 std::chrono::milliseconds invoke_timeout) {
   common::Rng rng(seed, static_cast<std::uint64_t>(client_index));
@@ -49,6 +54,35 @@ void run_client(runtime::Client& client, GroupId group, std::uint64_t seed,
         break;
     }
   }
+}
+
+/// Distinguishes artifacts from scenarios sharing one seed in one run.
+std::atomic<std::uint64_t> artifact_counter{0};
+
+/// Dumps the offending history (replayable: `tools/lincheck <path>`)
+/// with the failure diagnostic embedded as comment lines, and reports
+/// the path on stderr.
+std::string dump_failure_artifact(const ScenarioConfig& config,
+                                  const ScenarioResult& result,
+                                  const std::string& why,
+                                  const std::string& diagnostic) {
+  const std::uint64_t n =
+      artifact_counter.fetch_add(1, std::memory_order_relaxed);
+  const std::string name = "scenario-seed" +
+                           std::to_string(config.workload_seed) + "-" +
+                           std::to_string(n) + ".history";
+  std::string text = lin::history_to_text(result.history, "kv");
+  text += "# verdict: " + why + "\n";
+  std::istringstream detail(diagnostic);
+  std::string line;
+  while (std::getline(detail, line)) text += "# " + line + "\n";
+  const std::string path = lin::write_artifact(name, text);
+  if (path.empty()) {
+    ADETS_LOG_ERROR("scenario") << "failed to write failure artifact " << name;
+  } else {
+    ADETS_LOG_ERROR("scenario") << why << "; history artifact: " << path;
+  }
+  return path;
 }
 
 }  // namespace
@@ -88,21 +122,25 @@ ScenarioResult run_scenario(const runtime::SchedulerFactory& scheduler_factory,
   // aborts its remaining requests; the scenario still returns a result
   // with drained=false instead of letting the exception kill the thread.
   std::atomic<std::uint64_t> clients_failed{0};
+  lin::HistoryRecorder recorder(static_cast<std::size_t>(config.clients));
   std::vector<std::thread> workers;
   workers.reserve(clients.size());
   for (int c = 0; c < config.clients; ++c) {
     workers.emplace_back([&, c] {
+      lin::RecordingClient recording(*clients[static_cast<std::size_t>(c)],
+                                     recorder.client(static_cast<std::size_t>(c)));
       try {
-        run_client(*clients[static_cast<std::size_t>(c)], group,
-                   config.workload_seed, c, config.requests_per_client,
-                   config.invoke_timeout);
+        run_client(recording, group, config.workload_seed, c,
+                   config.requests_per_client, config.invoke_timeout);
       } catch (const std::exception&) {
+        // The failed invocation stays in the history as a pending op.
         clients_failed.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
   for (auto& worker : workers) worker.join();
   result.clients_failed = clients_failed.load(std::memory_order_relaxed);
+  result.history = recorder.merge();
 
   const auto total = static_cast<std::uint64_t>(config.clients) *
                      static_cast<std::uint64_t>(config.requests_per_client);
@@ -121,6 +159,24 @@ ScenarioResult run_scenario(const runtime::SchedulerFactory& scheduler_factory,
   }
   result.fault_digest = transport::fault_trace_digest(cluster.network().fault_trace());
   result.net = cluster.network().stats();
+
+  if (config.check_linearizability) {
+    lin::CheckOptions options;
+    options.max_states = config.lin_max_states;
+    result.lin = lin::check_history(result.history, lin::KvSpec{}, options);
+    result.lin_checked = true;
+  }
+
+  // Any failed consistency gate dumps the run's history for offline
+  // replay (satisfying a storm run must be reproducible, not a log line).
+  if (result.lin_checked && !result.lin.linearizable &&
+      !result.lin.exhausted_budget) {
+    result.artifact_path = dump_failure_artifact(
+        config, result, "non-linearizable history", result.lin.explanation);
+  } else if (result.audit.diverged || result.background_divergence) {
+    result.artifact_path = dump_failure_artifact(
+        config, result, "replica divergence", result.audit.diagnostic);
+  }
   return result;
 }
 

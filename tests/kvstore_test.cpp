@@ -4,6 +4,9 @@
 
 #include <thread>
 
+#include "lin/checker.hpp"
+#include "lin/recorder.hpp"
+#include "lin/spec.hpp"
 #include "replication/consistency.hpp"
 #include "replication/replay.hpp"
 #include "runtime/cluster.hpp"
@@ -119,6 +122,62 @@ TEST_P(KvStoreTest, ConcurrentCasIsLinearizedIdentically) {
   EXPECT_EQ(successes.load(), 1);
   ASSERT_TRUE(cluster_.wait_drained(store_, 1 + kClients));
   EXPECT_TRUE(repl::check_group(cluster_, store_).consistent());
+}
+
+TEST_P(KvStoreTest, EdgeOpsOnAbsentAndOverwrittenKeys) {
+  // Absent key: get reports not-found with an empty value.
+  const auto [found0, value0] =
+      flag_value(client_->invoke(store_, "get", KvStore::pack_key("ghost")));
+  EXPECT_FALSE(found0);
+  EXPECT_TRUE(value0.empty());
+  // Remove and cas on an absent key fail without creating it.
+  EXPECT_FALSE(flag_of(client_->invoke(store_, "remove", KvStore::pack_key("ghost"))));
+  EXPECT_FALSE(
+      flag_of(client_->invoke(store_, "cas", KvStore::pack_cas("ghost", "", "v"))));
+  const auto [found1, _] =
+      flag_value(client_->invoke(store_, "get", KvStore::pack_key("ghost")));
+  EXPECT_FALSE(found1);
+
+  // Overwrite: the second put reports the key existed; get sees the
+  // latest value, and size does not double-count.
+  EXPECT_FALSE(flag_of(client_->invoke(store_, "put", KvStore::pack_put("o", "v1"))));
+  EXPECT_TRUE(flag_of(client_->invoke(store_, "put", KvStore::pack_put("o", "v2"))));
+  const auto [found2, value2] =
+      flag_value(client_->invoke(store_, "get", KvStore::pack_key("o")));
+  EXPECT_TRUE(found2);
+  EXPECT_EQ(value2, "v2");
+  const Bytes size_reply = client_->invoke(store_, "size", {});
+  common::Reader size_reader(size_reply);
+  EXPECT_EQ(size_reader.u64(), 1u);
+
+  // Delete-then-get: removal reports the key was present, after which
+  // the key reads as absent and a re-put reports existed=false again.
+  EXPECT_TRUE(flag_of(client_->invoke(store_, "remove", KvStore::pack_key("o"))));
+  const auto [found3, value3] =
+      flag_value(client_->invoke(store_, "get", KvStore::pack_key("o")));
+  EXPECT_FALSE(found3);
+  EXPECT_TRUE(value3.empty());
+  EXPECT_FALSE(flag_of(client_->invoke(store_, "put", KvStore::pack_put("o", "v3"))));
+}
+
+// Pins the implementation to lin::KvSpec: a recorded single-client run
+// over the edge ops must be accepted by the checker, i.e. the sequential
+// spec and the replicated object agree on every observable.
+TEST_P(KvStoreTest, EdgeOpHistoryAcceptedByTheSequentialSpec) {
+  lin::HistoryRecorder recorder(1);
+  lin::RecordingClient recording(*client_, recorder.client(0));
+  recording.invoke(store_, "get", KvStore::pack_key("e"));
+  recording.invoke(store_, "put", KvStore::pack_put("e", "1"));
+  recording.invoke(store_, "put", KvStore::pack_put("e", "2"));
+  recording.invoke(store_, "cas", KvStore::pack_cas("e", "2", "3"));
+  recording.invoke(store_, "cas", KvStore::pack_cas("e", "2", "4"));
+  recording.invoke(store_, "remove", KvStore::pack_key("e"));
+  recording.invoke(store_, "get", KvStore::pack_key("e"));
+  recording.invoke(store_, "remove", KvStore::pack_key("e"));
+  recording.invoke(store_, "size", {});
+  const auto result = check_history(recorder.merge(), lin::KvSpec{});
+  EXPECT_TRUE(result.linearizable) << result.explanation;
+  EXPECT_EQ(result.ops, 9u);
 }
 
 TEST_P(KvStoreTest, SizeCountsKeys) {

@@ -1,0 +1,168 @@
+// Property test for the linearizability checker.
+//
+// For 100+ seeds: generate a random *valid sequential* KV history
+// (every result computed from a model map, so it is linearizable by
+// construction), then
+//  - accept it as-is,
+//  - accept a concurrency-preserving reordering: widening an
+//    operation's interval can only add legal linearization points, so
+//    the original witness survives,
+//  - reject a spec-violating edit: in a strictly sequential history
+//    every observable is uniquely determined, so corrupting one result
+//    (poison read value, flipped existed/success flag, wrong size)
+//    guarantees non-linearizability.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/serialization.hpp"
+#include "lin/checker.hpp"
+#include "lin/history.hpp"
+#include "lin/spec.hpp"
+#include "workload/kvstore.hpp"
+
+namespace adets {
+namespace {
+
+constexpr int kSeeds = 120;
+constexpr int kOpsPerHistory = 30;
+
+struct Model {
+  std::map<std::string, std::string> map;
+};
+
+lin::Operation random_sequential_op(common::Rng& rng, Model& model,
+                                    std::uint64_t index) {
+  lin::Operation op;
+  op.client = rng.uniform(0, 3);
+  // Scaled stamps leave room for interval widening between neighbours.
+  op.invoke_stamp = index * 10 + 1;
+  op.response_stamp = index * 10 + 5;
+
+  const std::string key = "k" + std::to_string(rng.uniform(0, 3));
+  const std::string value = std::string(1, static_cast<char>('a' + rng.uniform(0, 3)));
+  common::Writer result;
+  switch (rng.uniform(0, 9)) {
+    case 0:
+    case 1:
+    case 2: {
+      op.method = "put";
+      op.args = workload::KvStore::pack_put(key, value);
+      result.boolean(model.map.count(key) > 0);
+      model.map[key] = value;
+      break;
+    }
+    case 3:
+    case 4: {
+      op.method = "cas";
+      // Half the time aim at the current value so successes happen.
+      const auto it = model.map.find(key);
+      const std::string expected =
+          (rng.uniform(0, 1) == 0 && it != model.map.end()) ? it->second : "x";
+      op.args = workload::KvStore::pack_cas(key, expected, value);
+      const bool success = it != model.map.end() && it->second == expected;
+      result.boolean(success);
+      if (success) model.map[key] = value;
+      break;
+    }
+    case 5: {
+      op.method = "remove";
+      op.args = workload::KvStore::pack_key(key);
+      result.boolean(model.map.erase(key) > 0);
+      break;
+    }
+    case 6: {
+      op.method = "size";
+      result.u64(model.map.size());
+      break;
+    }
+    default: {
+      op.method = "get";
+      op.args = workload::KvStore::pack_key(key);
+      const auto it = model.map.find(key);
+      result.boolean(it != model.map.end());
+      result.str(it != model.map.end() ? it->second : "");
+      break;
+    }
+  }
+  op.result = result.take();
+  return op;
+}
+
+lin::History random_sequential_history(common::Rng& rng) {
+  lin::History h;
+  Model model;
+  for (int i = 0; i < kOpsPerHistory; ++i) {
+    h.ops.push_back(random_sequential_op(rng, model, static_cast<std::uint64_t>(i)));
+  }
+  return h;
+}
+
+/// Widens random intervals: invoke earlier, response later, by up to 4
+/// ticks (neighbouring ops are 10 apart, so overlaps stay local).
+lin::History widen_intervals(const lin::History& h, common::Rng& rng) {
+  lin::History out = h;
+  for (lin::Operation& op : out.ops) {
+    if (rng.uniform(0, 2) == 0) continue;
+    const std::uint64_t earlier = rng.uniform(0, 4);
+    op.invoke_stamp = op.invoke_stamp > earlier ? op.invoke_stamp - earlier : 1;
+    op.response_stamp += rng.uniform(0, 4);
+  }
+  out.normalize();
+  return out;
+}
+
+/// Corrupts one completed op's result so no sequential execution
+/// explains it (the poison value "zz" is never written by the
+/// generator; booleans/sizes flip to the unique wrong answer).
+lin::History corrupt_one_result(const lin::History& h, common::Rng& rng) {
+  lin::History out = h;
+  lin::Operation& op =
+      out.ops[rng.uniform(0, static_cast<int>(out.ops.size()) - 1)];
+  common::Reader old(op.result);
+  common::Writer result;
+  if (op.method == "get") {
+    (void)old.boolean();
+    result.boolean(true);
+    result.str("zz");
+  } else if (op.method == "size") {
+    result.u64(old.u64() + 1);
+  } else {  // put / remove / cas: flip the unique correct flag
+    result.boolean(!old.boolean());
+  }
+  op.result = result.take();
+  return out;
+}
+
+TEST(LinProperty, SequentialWidenedAndCorruptedHistories) {
+  int rejected_checked = 0;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    common::Rng rng(0xf00d, static_cast<std::uint64_t>(seed));
+    const lin::History sequential = random_sequential_history(rng);
+
+    const lin::CheckResult base = check_history(sequential, lin::KvSpec{});
+    ASSERT_TRUE(base.linearizable)
+        << "seed " << seed << ": " << base.explanation;
+
+    const lin::History widened = widen_intervals(sequential, rng);
+    const lin::CheckResult widened_result = check_history(widened, lin::KvSpec{});
+    ASSERT_TRUE(widened_result.linearizable)
+        << "seed " << seed << " (widened): " << widened_result.explanation;
+
+    const lin::History corrupted = corrupt_one_result(sequential, rng);
+    const lin::CheckResult corrupted_result =
+        check_history(corrupted, lin::KvSpec{});
+    ASSERT_FALSE(corrupted_result.linearizable) << "seed " << seed;
+    ASSERT_FALSE(corrupted_result.exhausted_budget) << "seed " << seed;
+    EXPECT_FALSE(corrupted_result.counterexample.empty()) << "seed " << seed;
+    ++rejected_checked;
+  }
+  EXPECT_EQ(rejected_checked, kSeeds);
+}
+
+}  // namespace
+}  // namespace adets
