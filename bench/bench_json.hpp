@@ -1,0 +1,106 @@
+// Minimal JSON emitter for the BENCH_*.json trajectory files.
+//
+// The bench harnesses write small, flat documents (a config object plus
+// an array of result rows), so this is a deliberately tiny append-only
+// builder rather than a JSON library: values are escaped, structure is
+// the caller's responsibility (begin/end calls must nest correctly).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace adets::bench {
+
+class JsonWriter {
+ public:
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(const std::string& name) {
+    comma();
+    out_ += quote(name);
+    out_ += ": ";
+    pending_value_ = true;
+  }
+
+  void value(const std::string& v) { raw(quote(v)); }
+  void value(const char* v) { raw(quote(v)); }
+  void value(bool v) { raw(v ? "true" : "false"); }
+  void value(std::uint64_t v) { raw(std::to_string(v)); }
+  void value(int v) { raw(std::to_string(v)); }
+  void value(double v) {
+    if (!std::isfinite(v)) {
+      raw("null");
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    raw(buf);
+  }
+
+  void field(const std::string& name, const std::string& v) { key(name); value(v); }
+  void field(const std::string& name, const char* v) { key(name); value(v); }
+  void field(const std::string& name, bool v) { key(name); value(v); }
+  void field(const std::string& name, std::uint64_t v) { key(name); value(v); }
+  void field(const std::string& name, int v) { key(name); value(v); }
+  void field(const std::string& name, double v) { key(name); value(v); }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string q = "\"";
+    for (const char c : s) {
+      switch (c) {
+        case '"': q += "\\\""; break;
+        case '\\': q += "\\\\"; break;
+        case '\n': q += "\\n"; break;
+        case '\t': q += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            q += buf;
+          } else {
+            q += c;
+          }
+      }
+    }
+    q += '"';
+    return q;
+  }
+
+  void comma() {
+    if (need_comma_) out_ += ", ";
+    need_comma_ = false;
+  }
+
+  void open(char c) {
+    comma();
+    out_ += c;
+    need_comma_ = false;
+    pending_value_ = false;
+  }
+
+  void close(char c) {
+    out_ += c;
+    need_comma_ = true;
+  }
+
+  void raw(const std::string& v) {
+    if (!pending_value_) comma();
+    out_ += v;
+    pending_value_ = false;
+    need_comma_ = true;
+  }
+
+  std::string out_;
+  bool need_comma_ = false;
+  bool pending_value_ = false;
+};
+
+}  // namespace adets::bench

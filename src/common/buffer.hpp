@@ -1,0 +1,79 @@
+// Reference-counted immutable byte buffers for the message hot path.
+//
+// A wire message is encoded once into a SharedBytes and then shared by
+// every consumer — the multicast fan-out, the hold-back queue, the
+// retained repair window and the delivery event all alias the same
+// allocation instead of copying the vector per hop.  slice() carves a
+// zero-copy view out of an envelope (shared_ptr aliasing keeps the
+// backing buffer alive), which is how a Submission payload inside a
+// SeqBatch avoids being re-materialised on every retransmission.
+//
+// SharedBytes is immutable after construction; concurrent readers need
+// no synchronisation beyond the shared_ptr control block.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace adets::common {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+
+  /// Takes ownership of `bytes`; the single allocation is shared by all
+  /// copies and slices from here on.
+  explicit SharedBytes(Bytes bytes)
+      : owner_(std::make_shared<const Bytes>(std::move(bytes))) {
+    data_ = owner_->data();
+    size_ = owner_->size();
+  }
+
+  [[nodiscard]] const std::uint8_t* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  std::uint8_t operator[](std::size_t i) const { return data_[i]; }
+
+  /// Zero-copy sub-view [offset, offset+length); shares ownership of the
+  /// backing buffer.  Callers must have validated the range (Reader does).
+  [[nodiscard]] SharedBytes slice(std::size_t offset, std::size_t length) const {
+    SharedBytes s;
+    s.owner_ = owner_;
+    s.data_ = data_ + offset;
+    s.size_ = length;
+    return s;
+  }
+
+  /// Materialises an owned copy — only for edges where an API needs a
+  /// plain vector (e.g. the scheduler's Request::payload).
+  [[nodiscard]] Bytes to_bytes() const { return Bytes(data_, data_ + size_); }
+
+  friend bool operator==(const SharedBytes& a, const SharedBytes& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (a.data_[i] != b.data_[i]) return false;
+    }
+    return true;
+  }
+
+  friend bool operator==(const SharedBytes& a, const Bytes& b) {
+    if (a.size_ != b.size()) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (a.data_[i] != b[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator==(const Bytes& a, const SharedBytes& b) { return b == a; }
+
+ private:
+  std::shared_ptr<const Bytes> owner_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace adets::common

@@ -10,8 +10,10 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/buffer.hpp"
 #include "common/types.hpp"
 
 namespace adets::common {
@@ -44,6 +46,21 @@ class Writer {
     raw(b.data(), b.size());
   }
 
+  void blob(const SharedBytes& b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    raw(b.data(), b.size());
+  }
+
+  void blob(const std::uint8_t* data, std::size_t size) {
+    u32(static_cast<std::uint32_t>(size));
+    raw(data, size);
+  }
+
+  /// Pre-sizes the buffer; hot-path encoders reserve once instead of
+  /// growing through repeated reallocations.
+  void reserve(std::size_t size) { bytes_.reserve(size); }
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+
   template <typename Tag, typename Rep>
   void id(StrongId<Tag, Rep> value) {
     u64(static_cast<std::uint64_t>(value.value()));
@@ -61,16 +78,22 @@ class Writer {
   Bytes bytes_;
 };
 
-/// Consumes primitives from a byte buffer in Writer order.
+/// Consumes primitives from a byte buffer in Writer order.  Reader only
+/// borrows the underlying storage — via a vector, a SharedBytes view or
+/// a raw (pointer, size) span — and never copies it.
 class Reader {
  public:
-  explicit Reader(const Bytes& bytes) : bytes_(bytes) {}
+  explicit Reader(const Bytes& bytes) : data_(bytes.data()), size_(bytes.size()) {}
   /// Reader only borrows the buffer; binding a temporary would dangle.
   explicit Reader(Bytes&&) = delete;
+  explicit Reader(const SharedBytes& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+  explicit Reader(SharedBytes&&) = delete;
+  Reader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
 
   std::uint8_t u8() {
     need(1);
-    return bytes_[pos_++];
+    return data_[pos_++];
   }
   std::uint32_t u32() { return read_pod<std::uint32_t>(); }
   std::uint64_t u64() { return read_pod<std::uint64_t>(); }
@@ -81,7 +104,7 @@ class Reader {
   std::string str() {
     const auto size = u32();
     need(size);
-    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), size);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), size);
     pos_ += size;
     return s;
   }
@@ -89,10 +112,20 @@ class Reader {
   Bytes blob() {
     const auto size = u32();
     need(size);
-    Bytes b(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
-            bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + size));
+    Bytes b(data_ + pos_, data_ + pos_ + size);
     pos_ += size;
     return b;
+  }
+
+  /// Consumes a blob but returns its (offset, length) within the buffer
+  /// instead of copying it — combine with SharedBytes::slice for a
+  /// zero-copy view of the payload inside its envelope.
+  std::pair<std::size_t, std::size_t> blob_span() {
+    const auto size = u32();
+    need(size);
+    const std::size_t offset = pos_;
+    pos_ += size;
+    return {offset, size};
   }
 
   template <typename IdType>
@@ -100,28 +133,29 @@ class Reader {
     return IdType(static_cast<typename IdType::rep_type>(u64()));
   }
 
-  [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
-  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == size_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
 
  private:
   template <typename T>
   T read_pod() {
     need(sizeof(T));
     T v;
-    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    std::memcpy(&v, data_ + pos_, sizeof(T));
     pos_ += sizeof(T);
     return v;
   }
 
   void need(std::size_t n) const {
-    if (pos_ + n > bytes_.size()) {
+    if (pos_ + n > size_) {
       throw SerializationError("payload truncated: need " + std::to_string(n) +
                                " bytes at offset " + std::to_string(pos_) +
-                               " of " + std::to_string(bytes_.size()));
+                               " of " + std::to_string(size_));
     }
   }
 
-  const Bytes& bytes_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
   std::size_t pos_ = 0;
 };
 

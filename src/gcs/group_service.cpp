@@ -9,15 +9,16 @@
 namespace adets::gcs {
 
 using common::Bytes;
+using common::Duration;
 using common::GroupId;
 using common::NodeId;
 using common::Reader;
 using common::SeqNo;
+using common::SharedBytes;
 using common::TimePoint;
 using common::Writer;
 
-GroupService::GroupService(transport::SimNetwork& net, NodeId self,
-                           GroupServiceConfig config)
+GroupService::GroupService(transport::SimNetwork& net, NodeId self, GcsConfig config)
     : net_(net), self_(self), config_(config) {
   net_.set_handler(self_, [this](transport::Message m) { on_message(std::move(m)); });
   timer_ = std::thread([this] { timer_loop(); });
@@ -70,14 +71,22 @@ std::uint64_t GroupService::submit(GroupId group, Bytes payload) {
   SenderState& sender = it->second;
   const std::uint64_t msg_id = sender.next_msg_id++;
   SenderState::Pending pending;
-  pending.payload = std::move(payload);
+  pending.payload = SharedBytes(std::move(payload));
   sender.pending[msg_id] = std::move(pending);
-  resend_pending(group, sender, /*force=*/true);
+  // Send just the new submission (never the whole pending map: that
+  // would be O(pending) work per submit under load); with a configured
+  // submit_flush_delay the timer packs it into a SubmitBatch instead.
+  if (config_.submit_flush_delay == Duration::zero() && !sender.members.empty()) {
+    SenderState::Pending& p = sender.pending[msg_id];
+    p.last_send = common::Clock::now();
+    send_submissions(group, sender, {msg_id}, p.target);
+  }
   return msg_id;
 }
 
 void GroupService::send_direct(NodeId dst, Bytes payload) {
   Writer w;
+  w.reserve(payload.size() + 16);
   w.u8(static_cast<std::uint8_t>(WireKind::kDirect));
   w.u32(0);
   w.blob(payload);
@@ -85,7 +94,7 @@ void GroupService::send_direct(NodeId dst, Bytes payload) {
 }
 
 void GroupService::set_direct_handler(
-    std::function<void(NodeId, const Bytes&)> handler) {
+    std::function<void(NodeId, const SharedBytes&)> handler) {
   const common::MutexLock guard(mutex_);
   direct_handler_ = std::move(handler);
 }
@@ -116,7 +125,11 @@ void GroupService::on_message(transport::Message message) {
   }
 
   if (kind == WireKind::kDirect) {
-    events_.push(DirectEvent{message.src, r.blob()});
+    try {
+      const auto [offset, length] = r.blob_span();
+      events_.push(DirectEvent{message.src, message.payload.slice(offset, length)});
+    } catch (const common::SerializationError&) {
+    }
     return;
   }
 
@@ -128,13 +141,16 @@ void GroupService::on_message(transport::Message message) {
   }
   try {
     switch (kind) {
-      case WireKind::kSubmit: handle_submit(group, r); break;
+      case WireKind::kSubmit: handle_submit(group, message, r); break;
+      case WireKind::kSubmitBatch: handle_submit_batch(group, message, r); break;
       case WireKind::kSubmitAck: handle_submit_ack(group, r); break;
-      case WireKind::kSeqMsg: handle_seq_msg(group, r); break;
+      case WireKind::kSubmitAckBatch: handle_submit_ack_batch(group, r); break;
+      case WireKind::kSeqMsg: handle_seq_msg(group, message, r); break;
+      case WireKind::kSeqBatch: handle_seq_batch(group, message, r); break;
       case WireKind::kNack: handle_nack(group, message.src, r); break;
       case WireKind::kHeartbeat: handle_heartbeat(group, message.src, r); break;
       case WireKind::kViewPropose: handle_view_propose(group, message.src, r); break;
-      case WireKind::kViewAck: handle_view_ack(group, message.src, r); break;
+      case WireKind::kViewAck: handle_view_ack(group, message.src, message, r); break;
       case WireKind::kViewCommit: handle_view_commit(group, r); break;
       case WireKind::kDirect: break;  // handled above
     }
@@ -144,31 +160,57 @@ void GroupService::on_message(transport::Message message) {
   }
 }
 
-void GroupService::handle_submit(GroupId group, Reader& r) {
+void GroupService::handle_submit(GroupId group, const transport::Message& m,
+                                 Reader& r) {
   auto it = memberships_.find(group.value());
   if (it == memberships_.end()) return;
   MemberState& st = it->second;
-  Submission submission = decode_submission(r);
-
   if (st.view.sequencer() != self_) {
-    // Forward to the current sequencer; the sender will also retry.
-    Writer w;
-    w.u8(static_cast<std::uint8_t>(WireKind::kSubmit));
-    w.u32(group.value());
-    encode_submission(w, submission);
-    send_wire(st.view.sequencer(), w.take());
+    // Forward the original envelope to the current sequencer verbatim
+    // (the submission carries its own sender field); the sender will
+    // also retry.
+    send_wire(st.view.sequencer(), m.payload);
     return;
   }
-  sequence_submission(group, st, std::move(submission));
+  sequence_submission(group, st, decode_submission(r, m.payload));
+  maybe_flush(group, st, /*force=*/false);
+}
+
+void GroupService::handle_submit_batch(GroupId group, const transport::Message& m,
+                                       Reader& r) {
+  auto it = memberships_.find(group.value());
+  if (it == memberships_.end()) return;
+  MemberState& st = it->second;
+  if (st.view.sequencer() != self_) {
+    send_wire(st.view.sequencer(), m.payload);
+    return;
+  }
+  const NodeId sender(r.u32());
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Submission s;
+    s.sender = sender;
+    s.sender_msg_id = r.u64();
+    const auto [offset, length] = r.blob_span();
+    s.payload = m.payload.slice(offset, length);
+    sequence_submission(group, st, std::move(s));
+  }
+  maybe_flush(group, st, /*force=*/false);
 }
 
 void GroupService::sequence_submission(GroupId group, MemberState& st,
                                        Submission submission) {
+  // Between a view-commit and its installation the old sequence space is
+  // frozen; the sender retransmits into the new view.
+  if (st.commit_pending) return;
   const auto key = std::make_pair(submission.sender.value(), submission.sender_msg_id);
   const auto dup = st.dedup.find(key);
   if (dup != st.dedup.end()) {
-    // Already sequenced: re-ack externals; members will see the SeqMsg.
-    if (!st.view.contains(submission.sender)) {
+    // Already sequenced.  Re-ack externals only once the original was
+    // actually multicast — an unflushed original will be acked by its
+    // flush anyway, and acking earlier would widen the loss window on a
+    // sequencer crash.
+    if (!st.view.contains(submission.sender) && dup->second <= st.flushed_seq) {
       Writer w;
       w.u8(static_cast<std::uint8_t>(WireKind::kSubmitAck));
       w.u32(group.value());
@@ -182,23 +224,92 @@ void GroupService::sequence_submission(GroupId group, MemberState& st,
   message.submission = std::move(submission);
   st.dedup[key] = message.seq.value();
   if (!st.view.contains(message.submission.sender)) {
-    Writer w;
-    w.u8(static_cast<std::uint8_t>(WireKind::kSubmitAck));
-    w.u32(group.value());
-    w.u64(message.submission.sender_msg_id);
-    send_wire(message.submission.sender, w.take());
+    st.batch_acks[message.submission.sender.value()].push_back(
+        message.submission.sender_msg_id);
   }
-  multicast_seq(st, group, message);
+  if (st.batch.empty()) st.batch_since = common::Clock::now();
+  st.batch_bytes += message.submission.payload.size();
+  st.batch.push_back(std::move(message));
 }
 
-void GroupService::multicast_seq(const MemberState& st, GroupId group,
-                                 const Sequenced& message) {
-  Writer w;
-  w.u8(static_cast<std::uint8_t>(WireKind::kSeqMsg));
-  w.u32(group.value());
-  encode_sequenced(w, message);
-  const Bytes bytes = w.take();
-  for (auto m : st.view.members) send_wire(m, bytes);
+void GroupService::maybe_flush(GroupId group, MemberState& st, bool force) {
+  if (st.batch.empty()) return;
+  if (!force) {
+    const bool caps_hit = st.batch.size() >= config_.max_batch_msgs ||
+                          st.batch_bytes >= config_.max_batch_bytes;
+    const bool delay_elapsed =
+        config_.batch_flush_delay == Duration::zero() ||
+        common::Clock::now() - st.batch_since >= config_.batch_flush_delay;
+    if (!caps_hit && !delay_elapsed) return;
+  }
+  flush_batch(group, st);
+}
+
+void GroupService::flush_batch(GroupId group, MemberState& st) {
+  if (st.batch.empty()) return;
+  if (st.commit_pending || st.view.sequencer() != self_) {
+    // A view change overtook the batch: nothing in it was multicast or
+    // acked anywhere, so drop it (senders re-submit into the new view)
+    // and let the dedup rebuild forget the discarded sequence numbers.
+    for (const auto& m : st.batch) {
+      st.dedup.erase({m.submission.sender.value(), m.submission.sender_msg_id});
+    }
+    st.batch.clear();
+    st.batch_bytes = 0;
+    st.batch_acks.clear();
+    return;
+  }
+  std::size_t i = 0;
+  while (i < st.batch.size()) {
+    // One contiguous chunk per datagram, capped by both batch knobs.
+    std::size_t count = 1;
+    std::size_t bytes = st.batch[i].submission.payload.size();
+    while (i + count < st.batch.size() && count < config_.max_batch_msgs &&
+           bytes < config_.max_batch_bytes) {
+      bytes += st.batch[i + count].submission.payload.size();
+      ++count;
+    }
+    Writer w;
+    w.reserve(bytes + 20 * (count + 1));
+    if (count == 1) {
+      w.u8(static_cast<std::uint8_t>(WireKind::kSeqMsg));
+      w.u32(group.value());
+      encode_sequenced(w, st.batch[i]);
+    } else {
+      w.u8(static_cast<std::uint8_t>(WireKind::kSeqBatch));
+      w.u32(group.value());
+      encode_seq_batch_header(w, st.batch[i].seq.value(),
+                              static_cast<std::uint32_t>(count));
+      for (std::size_t j = 0; j < count; ++j) {
+        encode_submission(w, st.batch[i + j].submission);
+      }
+    }
+    const SharedBytes datagram{w.take()};
+    for (auto m : st.view.members) send_wire(m, datagram);
+    st.flushed_seq = st.batch[i + count - 1].seq.value();
+    i += count;
+  }
+  st.batch.clear();
+  st.batch_bytes = 0;
+  // The deferred external acks: the messages are on the wire now.
+  for (auto& [node, ids] : st.batch_acks) {
+    if (ids.size() == 1) {
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(WireKind::kSubmitAck));
+      w.u32(group.value());
+      w.u64(ids.front());
+      send_wire(NodeId(node), w.take());
+      continue;
+    }
+    Writer w;
+    w.reserve(ids.size() * 8 + 16);
+    w.u8(static_cast<std::uint8_t>(WireKind::kSubmitAckBatch));
+    w.u32(group.value());
+    w.u32(static_cast<std::uint32_t>(ids.size()));
+    for (const std::uint64_t id : ids) w.u64(id);
+    send_wire(NodeId(node), w.take());
+  }
+  st.batch_acks.clear();
 }
 
 void GroupService::handle_submit_ack(GroupId group, Reader& r) {
@@ -208,12 +319,46 @@ void GroupService::handle_submit_ack(GroupId group, Reader& r) {
   it->second.pending.erase(msg_id);
 }
 
-void GroupService::handle_seq_msg(GroupId group, Reader& r) {
+void GroupService::handle_submit_ack_batch(GroupId group, Reader& r) {
+  auto it = senders_.find(group.value());
+  if (it == senders_.end()) return;
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    it->second.pending.erase(r.u64());
+  }
+}
+
+void GroupService::handle_seq_msg(GroupId group, const transport::Message& m,
+                                  Reader& r) {
   auto it = memberships_.find(group.value());
   if (it == memberships_.end()) return;
   MemberState& st = it->second;
-  Sequenced message = decode_sequenced(r);
-  store_and_deliver(group, st, std::move(message));
+  store_and_deliver(group, st, decode_sequenced(r, m.payload));
+}
+
+void GroupService::handle_seq_batch(GroupId group, const transport::Message& m,
+                                    Reader& r) {
+  auto it = memberships_.find(group.value());
+  if (it == memberships_.end()) return;
+  MemberState& st = it->second;
+  const std::uint64_t first_seq = r.u64();
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Sequenced message;
+    message.seq = SeqNo(first_seq + i);
+    message.submission = decode_submission(r, m.payload);
+    const std::uint64_t seq = message.seq.value();
+    if (message.submission.sender == self_) {
+      if (auto sit = senders_.find(group.value()); sit != senders_.end()) {
+        sit->second.pending.erase(message.submission.sender_msg_id);
+      }
+    }
+    if (seq <= st.delivered_up_to) continue;
+    if (st.commit_pending && seq > st.commit_final_highest) continue;
+    st.holdback.emplace(seq, std::move(message));
+  }
+  try_deliver(group, st);
+  send_nack_if_gap(group, st, /*force=*/false);
 }
 
 void GroupService::store_and_deliver(GroupId group, MemberState& st,
@@ -233,20 +378,24 @@ void GroupService::store_and_deliver(GroupId group, MemberState& st,
 }
 
 void GroupService::try_deliver(GroupId group, MemberState& st) {
+  // Collect the whole contiguous run and hand it to the delivery thread
+  // as one event (one queue operation and one callback lookup per run).
+  std::vector<Sequenced> ready;
   while (true) {
     const auto it = st.holdback.find(st.delivered_up_to + 1);
     if (it == st.holdback.end()) break;
     st.delivered_up_to++;
     st.retained.emplace(it->first, it->second);
-    events_.push(DeliverEvent{group, it->second});
+    ready.push_back(std::move(it->second));
     st.holdback.erase(it);
   }
+  if (!ready.empty()) events_.push(DeliverEvent{group, std::move(ready)});
   // Slide the repair window; also bound the sequencer's dedup map (its
   // entries reference sequence numbers below the window anyway).
   while (st.retained.size() > config_.retained_limit) {
     st.retained.erase(st.retained.begin());
   }
-  if (st.dedup.size() > 2 * config_.retained_limit) {
+  if (st.dedup.size() > config_.dedup_horizon_factor * config_.retained_limit) {
     const std::uint64_t horizon =
         st.delivered_up_to > config_.retained_limit
             ? st.delivered_up_to - config_.retained_limit
@@ -284,6 +433,34 @@ void GroupService::handle_nack(GroupId group, NodeId from, Reader& r) {
   MemberState& st = it->second;
   const std::uint64_t from_seq = r.u64();
   const std::uint64_t to_seq = r.u64();
+  send_repair(group, st, from, from_seq, to_seq);
+}
+
+void GroupService::send_repair(GroupId group, MemberState& st, NodeId dst,
+                               std::uint64_t from_seq, std::uint64_t to_seq) {
+  // Repair at batch granularity: every maximal contiguous run of found
+  // messages goes out as one SeqBatch (capped by the batch knobs).
+  std::vector<const Sequenced*> run;
+  std::size_t run_bytes = 0;
+  const auto emit = [&]() ADETS_REQUIRES(mutex_) {
+    if (run.empty()) return;
+    Writer w;
+    w.reserve(run_bytes + 20 * (run.size() + 1));
+    if (run.size() == 1) {
+      w.u8(static_cast<std::uint8_t>(WireKind::kSeqMsg));
+      w.u32(group.value());
+      encode_sequenced(w, *run.front());
+    } else {
+      w.u8(static_cast<std::uint8_t>(WireKind::kSeqBatch));
+      w.u32(group.value());
+      encode_seq_batch_header(w, run.front()->seq.value(),
+                              static_cast<std::uint32_t>(run.size()));
+      for (const Sequenced* m : run) encode_submission(w, m->submission);
+    }
+    send_wire(dst, w.take());
+    run.clear();
+    run_bytes = 0;
+  };
   for (std::uint64_t seq = from_seq; seq <= to_seq; ++seq) {
     const Sequenced* found = nullptr;
     if (auto rit = st.retained.find(seq); rit != st.retained.end()) {
@@ -291,13 +468,18 @@ void GroupService::handle_nack(GroupId group, NodeId from, Reader& r) {
     } else if (auto hit = st.holdback.find(seq); hit != st.holdback.end()) {
       found = &hit->second;
     }
-    if (found == nullptr) continue;
-    Writer w;
-    w.u8(static_cast<std::uint8_t>(WireKind::kSeqMsg));
-    w.u32(group.value());
-    encode_sequenced(w, *found);
-    send_wire(from, w.take());
+    if (found == nullptr) {
+      emit();  // gap in what we hold: close the contiguous run
+      continue;
+    }
+    if (run.size() >= config_.max_batch_msgs ||
+        run_bytes + found->submission.payload.size() > config_.max_batch_bytes) {
+      emit();
+    }
+    run.push_back(found);
+    run_bytes += found->submission.payload.size();
   }
+  emit();
 }
 
 void GroupService::handle_heartbeat(GroupId group, NodeId, Reader& r) {
@@ -346,9 +528,9 @@ void GroupService::start_proposal(GroupId group, MemberState& st) {
   w.u32(static_cast<std::uint32_t>(survivors.size()));
   for (auto m : survivors) w.u32(m.value());
   w.u64(st.delivered_up_to);
-  const Bytes bytes = w.take();
+  const SharedBytes datagram{w.take()};
   for (auto m : survivors) {
-    if (m != self_) send_wire(m, bytes);
+    if (m != self_) send_wire(m, datagram);
   }
   // Coordinator's own ack is implicit.
   st.proposal_acks.insert(self_.value());
@@ -388,7 +570,8 @@ void GroupService::handle_view_propose(GroupId group, NodeId from, Reader& r) {
   send_wire(from, w.take());
 }
 
-void GroupService::handle_view_ack(GroupId group, NodeId from, Reader& r) {
+void GroupService::handle_view_ack(GroupId group, NodeId from,
+                                   const transport::Message& m, Reader& r) {
   auto it = memberships_.find(group.value());
   if (it == memberships_.end()) return;
   MemberState& st = it->second;
@@ -398,7 +581,7 @@ void GroupService::handle_view_ack(GroupId group, NodeId from, Reader& r) {
   r.u64();  // member's delivered_up_to (informational)
   const auto count = r.u32();
   for (std::uint32_t i = 0; i < count; ++i) {
-    Sequenced msg = decode_sequenced(r);
+    Sequenced msg = decode_sequenced(r, m.payload);
     const std::uint64_t seq = msg.seq.value();
     if (seq > st.delivered_up_to && st.holdback.count(seq) == 0) {
       st.holdback.emplace(seq, std::move(msg));
@@ -408,7 +591,7 @@ void GroupService::handle_view_ack(GroupId group, NodeId from, Reader& r) {
   st.proposal_acks.insert(from.value());
   const bool all_acked = std::all_of(
       st.proposal_members.begin(), st.proposal_members.end(),
-      [&](NodeId m) { return st.proposal_acks.count(m.value()) > 0; });
+      [&](NodeId member) { return st.proposal_acks.count(member.value()) > 0; });
   if (all_acked) finish_proposal(group, st);
 }
 
@@ -430,9 +613,9 @@ void GroupService::finish_proposal(GroupId group, MemberState& st) {
   w.u32(group.value());
   encode_view(w, new_view);
   w.u64(final_highest);
-  const Bytes bytes = w.take();
+  const SharedBytes datagram{w.take()};
   for (auto m : new_view.members) {
-    if (m != self_) send_wire(m, bytes);
+    if (m != self_) send_wire(m, datagram);
   }
   // Apply locally without a network round-trip.
   st.commit_pending = true;
@@ -481,8 +664,14 @@ void GroupService::maybe_install_view(GroupId group, MemberState& st) {
   for (auto m : st.view.members) {
     if (m != self_) st.last_heard[m.value()] = now;
   }
+  // A batch sequenced in the old view was never multicast or acked;
+  // discard it, the senders re-submit into the new sequence space.
+  st.batch.clear();
+  st.batch_bytes = 0;
+  st.batch_acks.clear();
   if (st.view.sequencer() == self_) {
     st.next_seq = st.commit_final_highest + 1;
+    st.flushed_seq = st.commit_final_highest;
     // Rebuild the dedup map from everything that survived the change so
     // re-submissions of already-sequenced messages are not duplicated.
     st.dedup.clear();
@@ -491,10 +680,15 @@ void GroupService::maybe_install_view(GroupId group, MemberState& st) {
     }
   }
   events_.push(ViewEvent{group, st.view});
-  // Re-target our own pending submissions at the new sequencer.
+  // Re-target our own pending submissions at the new sequencer: marking
+  // them never-sent makes resend_pending address the new members[0]
+  // immediately instead of rotating past it.
   if (auto sit = senders_.find(group.value()); sit != senders_.end()) {
     sit->second.members = st.view.members;
-    for (auto& [msg_id, pending] : sit->second.pending) pending.target = 0;
+    for (auto& [msg_id, pending] : sit->second.pending) {
+      pending.target = 0;
+      pending.last_send = TimePoint{};
+    }
     resend_pending(group, sit->second, /*force=*/true);
   }
   ADETS_LOG_INFO("gcs") << "node " << self_ << " installed view "
@@ -508,19 +702,59 @@ void GroupService::maybe_install_view(GroupId group, MemberState& st) {
 void GroupService::resend_pending(GroupId group, SenderState& sender, bool force) {
   if (sender.members.empty()) return;
   const auto now = common::Clock::now();
+  // Collect everything due per target so each target gets one batch.
+  std::map<std::size_t, std::vector<std::uint64_t>> by_target;
   for (auto& [msg_id, pending] : sender.pending) {
-    if (!force && now - pending.last_send < config_.retransmit_interval) continue;
-    if (pending.last_send != TimePoint{}) {
+    const bool unsent = pending.last_send == TimePoint{};
+    if (!unsent && !force &&
+        now - pending.last_send < config_.retransmit_interval) {
+      continue;
+    }
+    if (!unsent) {
       // Previous attempt unanswered: rotate to the next candidate.
       pending.target = (pending.target + 1) % sender.members.size();
     }
     pending.last_send = now;
+    by_target[pending.target].push_back(msg_id);
+  }
+  for (const auto& [target, msg_ids] : by_target) {
+    send_submissions(group, sender, msg_ids, target);
+  }
+}
+
+void GroupService::send_submissions(GroupId group, SenderState& sender,
+                                    const std::vector<std::uint64_t>& msg_ids,
+                                    std::size_t target) {
+  const NodeId dst = sender.members[target];
+  std::size_t i = 0;
+  while (i < msg_ids.size()) {
+    std::size_t count = 1;
+    std::size_t bytes = sender.pending[msg_ids[i]].payload.size();
+    while (i + count < msg_ids.size() && count < config_.max_batch_msgs &&
+           bytes < config_.max_batch_bytes) {
+      bytes += sender.pending[msg_ids[i + count]].payload.size();
+      ++count;
+    }
     Writer w;
-    w.u8(static_cast<std::uint8_t>(WireKind::kSubmit));
-    w.u32(group.value());
-    Submission submission{self_, msg_id, pending.payload};
-    encode_submission(w, submission);
-    send_wire(sender.members[pending.target], w.take());
+    w.reserve(bytes + 20 * (count + 1));
+    if (count == 1) {
+      w.u8(static_cast<std::uint8_t>(WireKind::kSubmit));
+      w.u32(group.value());
+      Submission submission{self_, msg_ids[i], sender.pending[msg_ids[i]].payload};
+      encode_submission(w, submission);
+    } else {
+      w.u8(static_cast<std::uint8_t>(WireKind::kSubmitBatch));
+      w.u32(group.value());
+      w.u32(self_.value());
+      w.u32(static_cast<std::uint32_t>(count));
+      for (std::size_t j = 0; j < count; ++j) {
+        const std::uint64_t id = msg_ids[i + j];
+        w.u64(id);
+        w.blob(sender.pending[id].payload);
+      }
+    }
+    send_wire(dst, w.take());
+    i += count;
   }
 }
 
@@ -532,6 +766,12 @@ void GroupService::timer_loop() {
       const auto now = common::Clock::now();
       for (auto& [group_raw, st] : memberships_) {
         const GroupId group(group_raw);
+        // Flush a batch the sequencing rounds left open (flush-delay
+        // policy); do it before heartbeats so known_highest is current.
+        if (st.view.sequencer() == self_ && !st.batch.empty() &&
+            now - st.batch_since >= config_.batch_flush_delay) {
+          maybe_flush(group, st, /*force=*/true);
+        }
         // Heartbeats.
         if (now - st.last_heartbeat >= config_.heartbeat_interval) {
           st.last_heartbeat = now;
@@ -539,18 +779,20 @@ void GroupService::timer_loop() {
           w.u8(static_cast<std::uint8_t>(WireKind::kHeartbeat));
           w.u32(group_raw);
           // Highest sequence this node knows of, so receivers can detect
-          // (and NACK) a gap at the tail of the stream.
+          // (and NACK) a gap at the tail of the stream.  The sequencer
+          // advertises only what it has multicast (flushed_seq): an
+          // unflushed batch is not repairable, NACKing it would spin.
           std::uint64_t known_highest = st.delivered_up_to;
           if (!st.holdback.empty()) {
             known_highest = std::max(known_highest, st.holdback.rbegin()->first);
           }
           if (st.view.sequencer() == self_) {
-            known_highest = std::max(known_highest, st.next_seq - 1);
+            known_highest = std::max(known_highest, st.flushed_seq);
           }
           w.u64(known_highest);
-          const Bytes bytes = w.take();
+          const SharedBytes datagram{w.take()};
           for (auto m : st.view.members) {
-            if (m != self_) send_wire(m, bytes);
+            if (m != self_) send_wire(m, datagram);
           }
         }
         // Failure detection.
@@ -593,7 +835,11 @@ void GroupService::delivery_loop() {
         const auto it = memberships_.find(deliver->group.value());
         if (it != memberships_.end()) callbacks = it->second.callbacks;
       }
-      if (callbacks.deliver) callbacks.deliver(deliver->group, deliver->message);
+      if (callbacks.deliver) {
+        for (const Sequenced& message : deliver->messages) {
+          callbacks.deliver(deliver->group, message);
+        }
+      }
     } else if (auto* view = std::get_if<ViewEvent>(&*event)) {
       GroupCallbacks callbacks;
       {
@@ -603,7 +849,7 @@ void GroupService::delivery_loop() {
       }
       if (callbacks.on_view) callbacks.on_view(view->group, view->view);
     } else if (auto* direct = std::get_if<DirectEvent>(&*event)) {
-      std::function<void(NodeId, const Bytes&)> handler;
+      std::function<void(NodeId, const SharedBytes&)> handler;
       {
         const common::MutexLock guard(mutex_);
         handler = direct_handler_;
@@ -613,7 +859,11 @@ void GroupService::delivery_loop() {
   }
 }
 
-void GroupService::send_wire(NodeId dst, const Bytes& bytes) {
+void GroupService::send_wire(NodeId dst, Bytes bytes) {
+  net_.send(self_, dst, std::move(bytes));
+}
+
+void GroupService::send_wire(NodeId dst, const SharedBytes& bytes) {
   net_.send(self_, dst, bytes);
 }
 

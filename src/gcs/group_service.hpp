@@ -6,10 +6,17 @@
 // timeout messages and LSA mutex-table broadcasts travel through it and
 // are delivered to every group member in the same total order.
 //
-// Protocol (fixed-sequencer with fail-over):
+// Protocol (fixed-sequencer with fail-over and batching):
 //  - The member with the lowest node id in the current view sequences
 //    submissions and multicasts them; members deliver in sequence order
 //    using a hold-back queue and NACK-based gap repair.
+//  - The sequencer coalesces the submissions of one sequencing round
+//    into a single SeqBatch multicast (a contiguous run of sequence
+//    numbers) instead of one datagram per message; flushing is governed
+//    by GcsConfig::max_batch_msgs / max_batch_bytes / batch_flush_delay.
+//    Acks to external senders are deferred to the flush, so an ack
+//    implies the message was actually multicast.  NACK repair responds
+//    at the same granularity (contiguous runs of the retained window).
 //  - Submissions are idempotent: (sender, sender_msg_id) pairs are
 //    deduplicated by the sequencer, and senders retransmit until their
 //    message is observed sequenced (members) or acknowledged (externals).
@@ -17,8 +24,11 @@
 //    coordinator (lowest surviving member) collects each survivor's
 //    received messages, recomputes the highest safely-contiguous sequence
 //    number, discards anything beyond it (never delivered anywhere, will
-//    be re-submitted), and commits the new view.  View events are
-//    delivered in-stream, after all messages of the old view.
+//    be re-submitted), and commits the new view.  A batch the old
+//    sequencer had not flushed is discarded wholesale: none of it was
+//    acked or retained anywhere, so senders re-submit and the new
+//    sequencer re-sequences.  View events are delivered in-stream, after
+//    all messages of the old view.
 //
 // Delivery callbacks run on a dedicated per-service delivery thread and
 // must not block for long; schedulers only enqueue work there.
@@ -38,6 +48,7 @@
 
 #include "common/annotations.hpp"
 #include "common/blocking_queue.hpp"
+#include "common/buffer.hpp"
 #include "common/clock.hpp"
 #include "common/mutex.hpp"
 #include "common/types.hpp"
@@ -49,7 +60,7 @@ namespace adets::gcs {
 
 /// Tunables; all durations are real time (failure detection is a
 /// real-time concern, not a workload concern).
-struct GroupServiceConfig {
+struct GcsConfig {
   common::Duration heartbeat_interval = std::chrono::milliseconds(20);
   common::Duration suspect_timeout = std::chrono::milliseconds(150);
   common::Duration retransmit_interval = std::chrono::milliseconds(60);
@@ -59,7 +70,30 @@ struct GroupServiceConfig {
   /// view-change reconciliation (a sliding window; older ones cannot be
   /// re-requested, matching a real GC layer's stability horizon).
   std::size_t retained_limit = 8192;
+  /// The sequencer's dedup map is pruned once it exceeds
+  /// dedup_horizon_factor * retained_limit entries (entries below the
+  /// retained window reference messages nobody can re-request anyway).
+  std::size_t dedup_horizon_factor = 2;
+
+  // --- sequencer batching ---------------------------------------------
+  /// Max sequenced messages multicast per SeqBatch datagram.  1 disables
+  /// batching (one datagram per message, the pre-batching wire shape).
+  std::size_t max_batch_msgs = 64;
+  /// Max payload bytes accumulated before a flush is forced.
+  std::size_t max_batch_bytes = 64 * 1024;
+  /// How long the sequencer may hold a non-full batch open to coalesce
+  /// submissions across sequencing rounds.  Zero flushes at the end of
+  /// every round (no added latency); non-zero trades up to that much
+  /// latency (quantised by timer_tick) for larger batches.
+  common::Duration batch_flush_delay = common::Duration::zero();
+  /// When non-zero, submit() defers the initial send to the timer so
+  /// several local submissions pack into one SubmitBatch datagram
+  /// (effective delay is one timer_tick).  Zero sends immediately.
+  common::Duration submit_flush_delay = common::Duration::zero();
 };
+
+/// Historical name, kept for existing call sites.
+using GroupServiceConfig = GcsConfig;
 
 /// Totally-ordered delivery and view callbacks of one group membership.
 struct GroupCallbacks {
@@ -73,7 +107,7 @@ struct GroupCallbacks {
 class GroupService {
  public:
   GroupService(transport::SimNetwork& net, common::NodeId self,
-               GroupServiceConfig config = {});
+               GcsConfig config = {});
   ~GroupService();
 
   GroupService(const GroupService&) = delete;
@@ -98,8 +132,10 @@ class GroupService {
   /// from replicas to clients).
   void send_direct(common::NodeId dst, common::Bytes payload);
 
-  /// Handler for kDirect datagrams; runs on the delivery thread.
-  void set_direct_handler(std::function<void(common::NodeId, const common::Bytes&)> handler);
+  /// Handler for kDirect datagrams; runs on the delivery thread.  The
+  /// payload is a zero-copy view of the received datagram.
+  void set_direct_handler(
+      std::function<void(common::NodeId, const common::SharedBytes&)> handler);
 
   /// Current view of a group this node is member of.
   [[nodiscard]] View current_view(common::GroupId group) const;
@@ -116,6 +152,14 @@ class GroupService {
     // Sequencer role (used when self is view.sequencer()).
     std::uint64_t next_seq = 1;
     std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint64_t> dedup;
+    // Sequencer batching: sequenced but not yet multicast messages, the
+    // external acks deferred to their flush, and the highest sequence
+    // number actually multicast (what heartbeats may advertise).
+    std::vector<Sequenced> batch;
+    std::size_t batch_bytes = 0;
+    common::TimePoint batch_since{};
+    std::map<std::uint32_t, std::vector<std::uint64_t>> batch_acks;
+    std::uint64_t flushed_seq = 0;
     // Delivery.
     std::uint64_t delivered_up_to = 0;
     std::map<std::uint64_t, Sequenced> holdback;
@@ -142,8 +186,8 @@ class GroupService {
     std::vector<common::NodeId> members;
     std::uint64_t next_msg_id = 1;
     struct Pending {
-      common::Bytes payload;
-      common::TimePoint last_send{};
+      common::SharedBytes payload;
+      common::TimePoint last_send{};  // {} = never sent yet
       std::size_t target = 0;
     };
     std::map<std::uint64_t, Pending> pending;
@@ -151,7 +195,9 @@ class GroupService {
 
   struct DeliverEvent {
     common::GroupId group;
-    Sequenced message;
+    /// One contiguous run of sequenced messages (a delivered batch); the
+    /// delivery thread invokes the callback once per message, in order.
+    std::vector<Sequenced> messages;
   };
   struct ViewEvent {
     common::GroupId group;
@@ -159,29 +205,44 @@ class GroupService {
   };
   struct DirectEvent {
     common::NodeId src;
-    common::Bytes payload;
+    common::SharedBytes payload;
   };
   using Event = std::variant<DeliverEvent, ViewEvent, DirectEvent>;
 
   // All handlers below run with mutex_ held (enforced by clang's
   // thread-safety analysis via ADETS_REQUIRES) unless stated otherwise.
   void on_message(transport::Message message);  // transport thread
-  void handle_submit(common::GroupId group, common::Reader& r) ADETS_REQUIRES(mutex_);
-  void handle_submit_ack(common::GroupId group, common::Reader& r) ADETS_REQUIRES(mutex_);
-  void handle_seq_msg(common::GroupId group, common::Reader& r) ADETS_REQUIRES(mutex_);
+  void handle_submit(common::GroupId group, const transport::Message& m,
+                     common::Reader& r) ADETS_REQUIRES(mutex_);
+  void handle_submit_batch(common::GroupId group, const transport::Message& m,
+                           common::Reader& r) ADETS_REQUIRES(mutex_);
+  void handle_submit_ack(common::GroupId group, common::Reader& r)
+      ADETS_REQUIRES(mutex_);
+  void handle_submit_ack_batch(common::GroupId group, common::Reader& r)
+      ADETS_REQUIRES(mutex_);
+  void handle_seq_msg(common::GroupId group, const transport::Message& m,
+                      common::Reader& r) ADETS_REQUIRES(mutex_);
+  void handle_seq_batch(common::GroupId group, const transport::Message& m,
+                        common::Reader& r) ADETS_REQUIRES(mutex_);
   void handle_nack(common::GroupId group, common::NodeId from, common::Reader& r)
       ADETS_REQUIRES(mutex_);
   void handle_heartbeat(common::GroupId group, common::NodeId from, common::Reader& r)
       ADETS_REQUIRES(mutex_);
-  void handle_view_propose(common::GroupId group, common::NodeId from, common::Reader& r)
-      ADETS_REQUIRES(mutex_);
-  void handle_view_ack(common::GroupId group, common::NodeId from, common::Reader& r)
+  void handle_view_propose(common::GroupId group, common::NodeId from,
+                           common::Reader& r) ADETS_REQUIRES(mutex_);
+  void handle_view_ack(common::GroupId group, common::NodeId from,
+                       const transport::Message& m, common::Reader& r)
       ADETS_REQUIRES(mutex_);
   void handle_view_commit(common::GroupId group, common::Reader& r)
       ADETS_REQUIRES(mutex_);
 
   void sequence_submission(common::GroupId group, MemberState& st, Submission submission)
       ADETS_REQUIRES(mutex_);
+  /// Flushes the pending batch if a cap is hit or the flush delay
+  /// elapsed (`force` flushes unconditionally).
+  void maybe_flush(common::GroupId group, MemberState& st, bool force)
+      ADETS_REQUIRES(mutex_);
+  void flush_batch(common::GroupId group, MemberState& st) ADETS_REQUIRES(mutex_);
   void store_and_deliver(common::GroupId group, MemberState& st, Sequenced message)
       ADETS_REQUIRES(mutex_);
   void try_deliver(common::GroupId group, MemberState& st) ADETS_REQUIRES(mutex_);
@@ -192,21 +253,29 @@ class GroupService {
       ADETS_REQUIRES(mutex_);
   void resend_pending(common::GroupId group, SenderState& sender, bool force)
       ADETS_REQUIRES(mutex_);
-  void multicast_seq(const MemberState& st, common::GroupId group, const Sequenced& message)
+  /// Sends one batch of this sender's pending submissions to `target`.
+  void send_submissions(common::GroupId group, SenderState& sender,
+                        const std::vector<std::uint64_t>& msg_ids, std::size_t target)
+      ADETS_REQUIRES(mutex_);
+  /// Repairs [from_seq, to_seq] for `dst` out of retained/holdback, as
+  /// contiguous SeqBatch runs.
+  void send_repair(common::GroupId group, MemberState& st, common::NodeId dst,
+                   std::uint64_t from_seq, std::uint64_t to_seq)
       ADETS_REQUIRES(mutex_);
 
-  void send_wire(common::NodeId dst, const common::Bytes& bytes);
+  void send_wire(common::NodeId dst, common::Bytes bytes);
+  void send_wire(common::NodeId dst, const common::SharedBytes& bytes);
   void timer_loop();
   void delivery_loop();
 
   transport::SimNetwork& net_;
   const common::NodeId self_;
-  const GroupServiceConfig config_;
+  const GcsConfig config_;
 
   mutable common::Mutex mutex_{"gcs::mutex"};
   std::map<std::uint32_t, MemberState> memberships_ ADETS_GUARDED_BY(mutex_);
   std::map<std::uint32_t, SenderState> senders_ ADETS_GUARDED_BY(mutex_);
-  std::function<void(common::NodeId, const common::Bytes&)> direct_handler_
+  std::function<void(common::NodeId, const common::SharedBytes&)> direct_handler_
       ADETS_GUARDED_BY(mutex_);
 
   common::BlockingQueue<Event> events_;

@@ -1,9 +1,15 @@
 // Wire encoding of group-communication protocol messages.
+//
+// Payloads are zero-copy: a Submission inside a received envelope is a
+// SharedBytes slice of that envelope, so decoding a SeqBatch of N
+// submissions performs no per-message allocation — the whole batch
+// shares the one buffer the transport delivered.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "common/buffer.hpp"
 #include "common/serialization.hpp"
 #include "common/types.hpp"
 #include "gcs/view.hpp"
@@ -14,13 +20,16 @@ namespace adets::gcs {
 enum class WireKind : std::uint8_t {
   kSubmit = 1,     // sender -> sequencer (or member, forwarded): order me
   kSubmitAck = 2,  // sequencer -> external sender: your message is sequenced
-  kSeqMsg = 3,     // sequencer -> members: totally ordered message
+  kSeqMsg = 3,     // sequencer -> members: one totally ordered message
   kNack = 4,       // member -> sequencer: retransmit sequence range
   kHeartbeat = 5,  // member -> members: liveness
   kViewPropose = 6,
   kViewAck = 7,
   kViewCommit = 8,
-  kDirect = 9,  // point-to-point datagram outside any total order
+  kDirect = 9,        // point-to-point datagram outside any total order
+  kSeqBatch = 10,     // sequencer -> members: contiguous run of ordered messages
+  kSubmitBatch = 11,  // sender -> sequencer: several submissions, one datagram
+  kSubmitAckBatch = 12,  // sequencer -> external sender: several acks
 };
 
 /// A message submitted for total ordering.  (sender, sender_msg_id) makes
@@ -28,7 +37,7 @@ enum class WireKind : std::uint8_t {
 struct Submission {
   common::NodeId sender;
   std::uint64_t sender_msg_id = 0;
-  common::Bytes payload;
+  common::SharedBytes payload;
 };
 
 /// A sequenced message as retained/delivered by members.
@@ -45,11 +54,15 @@ inline void encode_submission(common::Writer& w, const Submission& s) {
   w.blob(s.payload);
 }
 
-inline Submission decode_submission(common::Reader& r) {
+/// `envelope` is the buffer `r` reads from; the payload becomes a
+/// zero-copy slice of it.
+inline Submission decode_submission(common::Reader& r,
+                                    const common::SharedBytes& envelope) {
   Submission s;
   s.sender = common::NodeId(r.u32());
   s.sender_msg_id = r.u64();
-  s.payload = r.blob();
+  const auto [offset, length] = r.blob_span();
+  s.payload = envelope.slice(offset, length);
   return s;
 }
 
@@ -58,11 +71,23 @@ inline void encode_sequenced(common::Writer& w, const Sequenced& m) {
   encode_submission(w, m.submission);
 }
 
-inline Sequenced decode_sequenced(common::Reader& r) {
+inline Sequenced decode_sequenced(common::Reader& r,
+                                  const common::SharedBytes& envelope) {
   Sequenced m;
   m.seq = r.id<common::SeqNo>();
-  m.submission = decode_submission(r);
+  m.submission = decode_submission(r, envelope);
   return m;
+}
+
+// A SeqBatch is a contiguous run [first_seq, first_seq + count): the per
+// message seq is implicit, so the batch header costs 12 bytes total
+// instead of 8 per message.  NACK repair responds with the same format
+// (any contiguous sub-run of the retained window is a valid SeqBatch).
+
+inline void encode_seq_batch_header(common::Writer& w, std::uint64_t first_seq,
+                                    std::uint32_t count) {
+  w.u64(first_seq);
+  w.u32(count);
 }
 
 inline void encode_view(common::Writer& w, const View& v) {

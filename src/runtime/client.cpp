@@ -8,10 +8,11 @@ using common::Bytes;
 using common::GroupId;
 using common::NodeId;
 using common::RequestId;
+using common::SharedBytes;
 
 Client::Client(gcs::GroupService& gcs) : gcs_(gcs) {
   gcs_.set_direct_handler(
-      [this](NodeId src, const Bytes& payload) { on_direct(src, payload); });
+      [this](NodeId src, const SharedBytes& payload) { on_direct(src, payload); });
 }
 
 void Client::connect(GroupId group, std::vector<NodeId> members) {
@@ -51,6 +52,23 @@ Bytes Client::invoke(GroupId group, const std::string& method, const Bytes& args
   return result;
 }
 
+RequestId Client::invoke_async(GroupId group, const std::string& method,
+                               const Bytes& args, ReplyCallback on_reply) {
+  RequestMessage request;
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    request.id = next_request_id();
+    pending_[request.id.value()].callback = std::move(on_reply);
+  }
+  request.logical = common::LogicalThreadId(request.id.value());
+  request.reply_mode = ReplyMode::kDirectToNode;
+  request.reply_target = gcs_.self().value();
+  request.method = method;
+  request.args = args;
+  gcs_.submit(group, encode_request(request));
+  return request.id;
+}
+
 void Client::invoke_oneway(GroupId group, const std::string& method, const Bytes& args) {
   RequestMessage request;
   {
@@ -65,15 +83,27 @@ void Client::invoke_oneway(GroupId group, const std::string& method, const Bytes
   gcs_.submit(group, encode_request(request));
 }
 
-void Client::on_direct(NodeId /*src*/, const Bytes& payload) {
-  const auto reply = decode_client_reply(payload);
+void Client::on_direct(NodeId /*src*/, const SharedBytes& payload) {
+  auto reply = decode_client_reply(payload);
   if (!reply) return;
-  const std::lock_guard<std::mutex> guard(mutex_);
-  const auto it = pending_.find(reply->request.value());
-  if (it == pending_.end() || it->second.ready) return;  // duplicate replica reply
-  it->second.ready = true;
-  it->second.result = reply->result;
-  cv_.notify_all();
+  ReplyCallback callback;
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    const auto it = pending_.find(reply->request.value());
+    if (it == pending_.end() || it->second.ready) return;  // duplicate replica reply
+    if (it->second.callback) {
+      // Async invocation: complete outside the lock, on this (delivery)
+      // thread; the callback may immediately issue the next invocation.
+      callback = std::move(it->second.callback);
+      pending_.erase(it);
+    } else {
+      it->second.ready = true;
+      it->second.result = std::move(reply->result);
+      cv_.notify_all();
+      return;
+    }
+  }
+  callback(std::move(reply->result));
 }
 
 }  // namespace adets::runtime

@@ -4,10 +4,19 @@
 // executes the method (active replication) and sends a direct reply; the
 // client accepts the first reply per request (the others are duplicates
 // by construction).
+//
+// Two invocation styles share one reply path:
+//  - invoke(): synchronous, blocks the calling thread;
+//  - invoke_async(): registers a completion callback, so one client
+//    node can multiplex many logical closed-loop sessions (the load
+//    harness drives thousands of simulated clients over a handful of
+//    client nodes this way).  Callbacks run on the GCS delivery thread
+//    and must not block.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -20,6 +29,9 @@ namespace adets::runtime {
 
 class Client {
  public:
+  /// Called with the first replica reply of an async invocation.
+  using ReplyCallback = std::function<void(common::Bytes result)>;
+
   /// `gcs` must be a service on the client's own node.
   explicit Client(gcs::GroupService& gcs);
 
@@ -35,6 +47,12 @@ class Client {
                        const common::Bytes& args,
                        std::chrono::milliseconds timeout = std::chrono::seconds(60));
 
+  /// Asynchronous invocation: `on_reply` fires once, on the delivery
+  /// thread, with the first replica reply.  No built-in timeout — a
+  /// caller that needs one owns the deadline (the load harness does).
+  common::RequestId invoke_async(common::GroupId group, const std::string& method,
+                                 const common::Bytes& args, ReplyCallback on_reply);
+
   /// Fire-and-forget invocation (no reply expected).
   void invoke_oneway(common::GroupId group, const std::string& method,
                      const common::Bytes& args);
@@ -45,10 +63,11 @@ class Client {
   struct PendingReply {
     bool ready = false;
     common::Bytes result;
+    ReplyCallback callback;  // set for async invocations
   };
 
   common::RequestId next_request_id();
-  void on_direct(common::NodeId src, const common::Bytes& payload);
+  void on_direct(common::NodeId src, const common::SharedBytes& payload);
 
   gcs::GroupService& gcs_;
   std::mutex mutex_;

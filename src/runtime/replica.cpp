@@ -49,13 +49,17 @@ void Replica::on_deliver(const gcs::Sequenced& message) {
       case AppWireKind::kRequest: {
         const RequestId id = r.id<RequestId>();
         const auto logical = r.id<LogicalThreadId>();
+        // One materialisation per request: the scheduler API owns plain
+        // Bytes (replay logs and the mc harness depend on that), so the
+        // zero-copy wire payload becomes a vector exactly once here.
+        Bytes payload = message.submission.payload.to_bytes();
         {
           const common::MutexLock guard(mutex_);
           if (stopped_) return;
           if (!seen_requests_.insert(id.value()).second) return;  // at-most-once
           if (event_log_) {
             event_log_->append(EventLog::Event{EventLog::Event::Kind::kRequest,
-                                               message.submission.payload,
+                                               payload,
                                                RequestId::invalid(),
                                                {},
                                                NodeId::invalid()});
@@ -65,7 +69,7 @@ void Replica::on_deliver(const gcs::Sequenced& message) {
         request.kind = sched::RequestKind::kApplication;
         request.id = id;
         request.logical = logical;
-        request.payload = message.submission.payload;
+        request.payload = std::move(payload);
         // Peek at the method name for the poison marker.
         r.u8();   // reply mode
         r.u32();  // reply target

@@ -97,9 +97,9 @@ inline common::Bytes encode_client_reply(const ClientReply& m) {
   return w.take();
 }
 
-inline std::optional<ClientReply> decode_client_reply(const common::Bytes& payload) {
+namespace detail {
+inline std::optional<ClientReply> decode_client_reply(common::Reader r) {
   try {
-    common::Reader r(payload);
     ClientReply m;
     m.request = r.id<common::RequestId>();
     m.result = r.blob();
@@ -107,6 +107,15 @@ inline std::optional<ClientReply> decode_client_reply(const common::Bytes& paylo
   } catch (const common::SerializationError&) {
     return std::nullopt;
   }
+}
+}  // namespace detail
+
+inline std::optional<ClientReply> decode_client_reply(const common::Bytes& payload) {
+  return detail::decode_client_reply(common::Reader(payload));
+}
+
+inline std::optional<ClientReply> decode_client_reply(const common::SharedBytes& payload) {
+  return detail::decode_client_reply(common::Reader(payload));
 }
 
 }  // namespace adets::runtime

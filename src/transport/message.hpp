@@ -1,17 +1,19 @@
 // Wire-level message envelope of the simulated network.
 #pragma once
 
-#include "common/serialization.hpp"
+#include "common/buffer.hpp"
 #include "common/types.hpp"
 
 namespace adets::transport {
 
 /// One datagram between two simulated nodes.  The payload is opaque to
 /// the transport; the group-communication layer encodes its own headers.
+/// It is a refcounted immutable buffer, so a multicast of the same bytes
+/// to N peers (and a fault-injected duplicate) shares one allocation.
 struct Message {
   common::NodeId src;
   common::NodeId dst;
-  common::Bytes payload;
+  common::SharedBytes payload;
 };
 
 }  // namespace adets::transport

@@ -38,7 +38,7 @@ void SimNetwork::set_handler(NodeId node, Handler handler) {
   n->handler = std::move(handler);
 }
 
-bool SimNetwork::send(NodeId src, NodeId dst, common::Bytes payload) {
+bool SimNetwork::send(NodeId src, NodeId dst, common::SharedBytes payload) {
   const auto now = common::Clock::now();
   const common::MutexLock guard(mutex_);
   if (stopping_) return false;
@@ -97,7 +97,8 @@ bool SimNetwork::send(NodeId src, NodeId dst, common::Bytes payload) {
   if (fault.duplicated) {
     // The trailing copy is delivered one base latency later and does not
     // advance the FIFO horizon (a late duplicate, as on a retransmitting
-    // real network); dedup is the upper layers' job.
+    // real network); dedup is the upper layers' job.  The duplicate
+    // aliases the original's buffer.
     stats_.messages_duplicated++;
     heap_.push_back(Pending{due + common::Clock::scaled(link.base_latency),
                             next_seq_++, Message{src, dst, payload}, std::nullopt});

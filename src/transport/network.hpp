@@ -78,7 +78,12 @@ class SimNetwork {
 
   /// Sends `payload` from `src` to `dst`; returns false if either end is
   /// crashed (the message is silently lost, as on a real network).
-  bool send(common::NodeId src, common::NodeId dst, common::Bytes payload);
+  /// Multicast senders pass the same SharedBytes for every destination so
+  /// the fabric never copies the bytes again.
+  bool send(common::NodeId src, common::NodeId dst, common::SharedBytes payload);
+  bool send(common::NodeId src, common::NodeId dst, common::Bytes payload) {
+    return send(src, dst, common::SharedBytes(std::move(payload)));
+  }
 
   /// Overrides the latency/loss model of the directed link src->dst.
   void set_link(common::NodeId src, common::NodeId dst, LinkConfig config);

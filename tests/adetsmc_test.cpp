@@ -89,6 +89,26 @@ TEST(AdetsMcTest, ExhaustiveLsaProtocolPipelineHasNoViolations) {
   EXPECT_FALSE(report.found_violation) << report.report;
 }
 
+TEST(AdetsMcTest, BatchedDeliveryPreservesGrantTraceEquality) {
+  // The seqbatch scenario models a flushed sequencer batch: all four
+  // requests start back-to-back with no delivery interleaving between
+  // them.  Under a bounded exploration no strategy may diverge the
+  // per-mutex grant traces across replicas.
+  const Scenario* seqbatch = scenario("seqbatch");
+  ASSERT_NE(seqbatch, nullptr);
+
+  for (const std::string strategy : {"seq", "sat"}) {
+    ExploreOptions options;
+    options.preemption_bound = 2;
+    options.max_schedules = 200;
+    options.max_seconds = 60.0;
+    const ExploreReport report = adets::mc::explore(*seqbatch, strategy, options);
+    EXPECT_FALSE(report.found_violation)
+        << strategy << "/seqbatch: " << report.report;
+    EXPECT_GT(report.completed, 0u) << strategy << "/seqbatch: " << report.report;
+  }
+}
+
 TEST(AdetsMcTest, BoundedSweepAllStrategiesAllScenariosHasNoViolations) {
   for (const std::string strategy : {"seq", "sl", "sat", "mat", "lsa", "pds"}) {
     for (const Scenario& s : adets::mc::scenarios()) {

@@ -148,7 +148,7 @@ TEST(SerializationTest, TruncatedPayloadThrows) {
 TEST(SerializationTest, EmptyStringAndBlob) {
   Writer w;
   w.str("");
-  w.blob({});
+  w.blob(common::Bytes{});
   Reader r(w.bytes());
   EXPECT_EQ(r.str(), "");
   EXPECT_TRUE(r.blob().empty());

@@ -42,7 +42,7 @@ class GcsExtraTest : public ::testing::Test {
       GroupCallbacks cb;
       cb.deliver = [this](GroupId, const Sequenced& m) {
         const std::lock_guard<std::mutex> guard(mutex);
-        messages.push_back(m.submission.payload);
+        messages.push_back(m.submission.payload.to_bytes());
         cv.notify_all();
       };
       cb.on_view = [this](GroupId, const View& v) {

@@ -33,7 +33,9 @@ struct DeliveryLog {
 
   void add(const Sequenced& m) {
     const std::lock_guard<std::mutex> guard(mutex);
-    messages.push_back(str(m.submission.payload));
+    messages.push_back(std::string(m.submission.payload.data(),
+                                   m.submission.payload.data() +
+                                       m.submission.payload.size()));
     cv.notify_all();
   }
   void add_view(const View& v) {
@@ -220,9 +222,9 @@ TEST_F(GcsTest, DirectMessagesBypassTotalOrder) {
   std::mutex m;
   std::condition_variable cv;
   std::vector<std::string> got;
-  services_[3]->set_direct_handler([&](NodeId src, const Bytes& payload) {
+  services_[3]->set_direct_handler([&](NodeId src, const common::SharedBytes& payload) {
     const std::lock_guard<std::mutex> guard(m);
-    got.push_back(str(payload) + "@" + std::to_string(src.value()));
+    got.push_back(str(payload.to_bytes()) + "@" + std::to_string(src.value()));
     cv.notify_all();
   });
   services_[0]->send_direct(nodes_[3], text("reply"));
