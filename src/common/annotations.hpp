@@ -39,6 +39,13 @@
 /// Pointer member whose pointee is protected by `x`.
 #define ADETS_PT_GUARDED_BY(x) ADETS_TSA(pt_guarded_by(x))
 
+/// Compiler-invisible guard declaration, read only by the adets-sa
+/// whole-program auditor (tools/adets-sa).  Use it where the guard is a
+/// raw std::mutex that must stay invisible to clang's analysis -- e.g.
+/// the model-checker runtime, whose locks cannot be common::Mutex
+/// because that would recurse into the runtime's own mc hooks.
+#define ADETS_GUARDED_BY_STATIC(x)
+
 /// Function that must be called with the listed capabilities held.
 #define ADETS_REQUIRES(...) ADETS_TSA(requires_capability(__VA_ARGS__))
 

@@ -11,6 +11,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/annotations.hpp"
 #include "common/clock.hpp"
 
 namespace adets::common {
@@ -87,10 +88,14 @@ class BlockingQueue {
   [[nodiscard]] bool empty() const { return size() == 0; }
 
  private:
+  // Raw std::mutex: this queue sits below common::Mutex (scheduler
+  // internals use it on shutdown paths where lock-order recording is
+  // already torn down), so the guard facts are declared for adets-sa
+  // only.
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  std::deque<T> items_ ADETS_GUARDED_BY_STATIC(mutex_);
+  bool closed_ ADETS_GUARDED_BY_STATIC(mutex_) = false;
 };
 
 }  // namespace adets::common

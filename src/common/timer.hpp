@@ -15,6 +15,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/annotations.hpp"
 #include "common/clock.hpp"
 #include "common/mc_hooks.hpp"
 
@@ -101,11 +102,14 @@ class TimerService {
     }
   }
 
+  // Raw std::mutex: the timer thread fires scheduler callbacks, so a
+  // common::Mutex here would feed the lock-order validator events from
+  // a context it does not model; guard facts are for adets-sa only.
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::map<Key, std::function<void()>> timers_;
-  TimerId next_id_ = 1;
-  bool stopping_ = false;
+  std::map<Key, std::function<void()>> timers_ ADETS_GUARDED_BY_STATIC(mutex_);
+  TimerId next_id_ ADETS_GUARDED_BY_STATIC(mutex_) = 1;
+  bool stopping_ ADETS_GUARDED_BY_STATIC(mutex_) = false;
   std::thread worker_;
 };
 

@@ -15,6 +15,8 @@
 #include <string>
 #include <thread>
 
+#include "common/annotations.hpp"
+
 namespace adets::common {
 
 class Watchdog {
@@ -45,10 +47,14 @@ class Watchdog {
     }
   }
 
-  std::string label_;
+  // label_ is written once in the constructor before the watchdog
+  // thread starts; the raw std::mutex (this utility must work even when
+  // common::Mutex instrumentation is the thing being debugged) only
+  // protects the disarm flag.
+  const std::string label_;
   std::mutex mutex_;
   std::condition_variable cv_;
-  bool disarmed_ = false;
+  bool disarmed_ ADETS_GUARDED_BY_STATIC(mutex_) = false;
   std::thread thread_;
 };
 

@@ -278,6 +278,7 @@ class GroupService {
   std::function<void(common::NodeId, const common::SharedBytes&)> direct_handler_
       ADETS_GUARDED_BY(mutex_);
 
+  // adets-sa:allow(unguarded-field) BlockingQueue is internally synchronized
   common::BlockingQueue<Event> events_;
   bool stopping_ ADETS_GUARDED_BY(mutex_) = false;
   std::thread timer_;

@@ -641,9 +641,10 @@ class World {
   }
 
   const Scenario& scenario_;
-  std::string strategy_;
-  bool racy_;
-  RunOptions options_;
+  const std::string strategy_;
+  const bool racy_;
+  const RunOptions options_;
+  // adets-sa:allow(unguarded-field) McRuntime synchronizes itself (model_m_)
   McRuntime runtime_;
 
   // The emulated total-order event bus.  A sequencer lock serialises
@@ -654,16 +655,21 @@ class World {
   struct DriverBus {
     common::Mutex mu{"mc::bus.q"};
     common::CondVar cv;
-    std::deque<BusEvent> queue;  // guarded by mu
-    bool closed = false;         // guarded by mu
+    std::deque<BusEvent> queue ADETS_GUARDED_BY(mu);
+    bool closed ADETS_GUARDED_BY(mu) = false;
     std::atomic<std::size_t> delivered{0};
   };
   common::Mutex seq_mu_{"mc::bus.seq"};
-  std::string order_log_;  // guarded by seq_mu_
+  std::string order_log_ ADETS_GUARDED_BY(seq_mu_);
   std::atomic<std::size_t> published_{0};
+  // adets-sa:allow(unguarded-field) DriverBus entries synchronize themselves
   std::array<DriverBus, kReplicas> bus_;
 
+  // Populated in run() before the driver threads start, then only the
+  // pointees (which synchronize themselves) are touched.
+  // adets-sa:allow(unguarded-field) written only in run(), before drivers
   std::vector<std::unique_ptr<sched::Scheduler>> schedulers_;
+  // adets-sa:allow(unguarded-field) written only in run(), before drivers
   std::vector<std::unique_ptr<WorldEnv>> envs_;
   std::vector<std::thread> drivers_;
   // Racy-path completion counts, bumped while the worker is still
@@ -676,16 +682,20 @@ class World {
   // pollute the choice space with harness steps.
   std::mutex state_m_;
   std::array<std::map<std::uint64_t, std::vector<std::string>>, kReplicas>
-      traces_;
-  std::array<std::map<std::string, std::int64_t>, kReplicas> blackboard_;
-  std::array<std::map<std::uint64_t, std::uint64_t>, kReplicas> acq_count_;
-  std::vector<Starve> starvation_;
-  // Linearizability recording (scenarios with a lin_spec); guarded by
-  // state_m_.  client_ops_ is keyed by request id.
-  std::uint64_t lin_stamp_ = 0;
-  std::uint64_t client_responses_ = 0;
-  std::array<std::vector<lin::Operation>, kReplicas> replica_ops_;
-  std::map<std::uint64_t, lin::Operation> client_ops_;
+      traces_ ADETS_GUARDED_BY_STATIC(state_m_);
+  std::array<std::map<std::string, std::int64_t>, kReplicas> blackboard_
+      ADETS_GUARDED_BY_STATIC(state_m_);
+  std::array<std::map<std::uint64_t, std::uint64_t>, kReplicas> acq_count_
+      ADETS_GUARDED_BY_STATIC(state_m_);
+  std::vector<Starve> starvation_ ADETS_GUARDED_BY_STATIC(state_m_);
+  // Linearizability recording (scenarios with a lin_spec).  client_ops_
+  // is keyed by request id.
+  std::uint64_t lin_stamp_ ADETS_GUARDED_BY_STATIC(state_m_) = 0;
+  std::uint64_t client_responses_ ADETS_GUARDED_BY_STATIC(state_m_) = 0;
+  std::array<std::vector<lin::Operation>, kReplicas> replica_ops_
+      ADETS_GUARDED_BY_STATIC(state_m_);
+  std::map<std::uint64_t, lin::Operation> client_ops_
+      ADETS_GUARDED_BY_STATIC(state_m_);
 };
 
 void WorldEnv::execute(const sched::Request& request) {

@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/mc_hooks.hpp"
 #include "mc/model.hpp"
 
@@ -177,37 +178,49 @@ class McRuntime final : public mchook::Interceptor {
 
   const Options options_;
 
+  // The runtime's own lock must be a raw std::mutex -- a common::Mutex
+  // would recurse into the very mc hooks this class implements -- so
+  // the guard facts below are declared with the compiler-invisible
+  // ADETS_GUARDED_BY_STATIC and enforced by adets-sa instead of clang.
   mutable std::mutex model_m_;
   std::condition_variable ctrl_cv_;
-  std::map<std::uint64_t, std::unique_ptr<Task>> tasks_;
-  Task* running_ = nullptr;
-  int expected_checkins_ = 0;
-  int expected_adoptions_ = 0;
-  bool draining_ = false;
+  std::map<std::uint64_t, std::unique_ptr<Task>> tasks_
+      ADETS_GUARDED_BY_STATIC(model_m_);
+  Task* running_ ADETS_GUARDED_BY_STATIC(model_m_) = nullptr;
+  int expected_checkins_ ADETS_GUARDED_BY_STATIC(model_m_) = 0;
+  int expected_adoptions_ ADETS_GUARDED_BY_STATIC(model_m_) = 0;
+  bool draining_ ADETS_GUARDED_BY_STATIC(model_m_) = false;
 
   // Model state.
-  std::map<std::uint64_t, std::uint64_t> owners_;    // mutex token -> task id (0 = free)
-  std::map<std::uint64_t, int> cv_tokens_;           // condvar token -> notify_one credits
-  std::map<std::uint64_t, std::function<void()>> pending_timers_;
-  std::uint64_t next_timer_id_ = (1ULL << 62) + 1;
-  int timeout_firings_ = 0;
+  std::map<std::uint64_t, std::uint64_t> owners_
+      ADETS_GUARDED_BY_STATIC(model_m_);  // mutex token -> task id (0 = free)
+  std::map<std::uint64_t, int> cv_tokens_
+      ADETS_GUARDED_BY_STATIC(model_m_);  // condvar token -> notify_one credits
+  std::map<std::uint64_t, std::function<void()>> pending_timers_
+      ADETS_GUARDED_BY_STATIC(model_m_);
+  std::uint64_t next_timer_id_ ADETS_GUARDED_BY_STATIC(model_m_) =
+      (1ULL << 62) + 1;
+  int timeout_firings_ ADETS_GUARDED_BY_STATIC(model_m_) = 0;
 
   // Stable identity assignment.
-  std::map<std::pair<int, const void*>, std::uint64_t> token_ids_;
-  std::map<std::uint64_t, std::string> token_names_;
-  std::map<std::string, int> name_counts_;
-  std::uint64_t next_token_ = 1;
-  std::uint64_t next_ticket_ = 100;  // spawn-ticket task ids; 1..99 reserved
+  std::map<std::pair<int, const void*>, std::uint64_t> token_ids_
+      ADETS_GUARDED_BY_STATIC(model_m_);
+  std::map<std::uint64_t, std::string> token_names_
+      ADETS_GUARDED_BY_STATIC(model_m_);
+  std::map<std::string, int> name_counts_ ADETS_GUARDED_BY_STATIC(model_m_);
+  std::uint64_t next_token_ ADETS_GUARDED_BY_STATIC(model_m_) = 1;
+  std::uint64_t next_ticket_ ADETS_GUARDED_BY_STATIC(model_m_) =
+      100;  // spawn-ticket task ids; 1..99 reserved
 
   // Step recording.
-  bool step_open_ = false;
-  StepInfo current_step_;
-  std::vector<StepInfo> steps_;
+  bool step_open_ ADETS_GUARDED_BY_STATIC(model_m_) = false;
+  StepInfo current_step_ ADETS_GUARDED_BY_STATIC(model_m_);
+  std::vector<StepInfo> steps_ ADETS_GUARDED_BY_STATIC(model_m_);
 
   // Timer runner.
-  Task* runner_task_ = nullptr;
-  std::function<void()> runner_fn_;
-  bool runner_exit_ = false;
+  Task* runner_task_ ADETS_GUARDED_BY_STATIC(model_m_) = nullptr;
+  std::function<void()> runner_fn_ ADETS_GUARDED_BY_STATIC(model_m_);
+  bool runner_exit_ ADETS_GUARDED_BY_STATIC(model_m_) = false;
   std::thread runner_thread_;
 };
 

@@ -22,6 +22,7 @@
 #include <optional>
 #include <string>
 
+#include "common/annotations.hpp"
 #include "gcs/group_service.hpp"
 #include "runtime/wire.hpp"
 
@@ -70,10 +71,13 @@ class Client {
   void on_direct(common::NodeId src, const common::SharedBytes& payload);
 
   gcs::GroupService& gcs_;
+  // Raw std::mutex: the client is load-generator machinery outside the
+  // replica (no lock-order story to record); guards declared for
+  // adets-sa only.
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::uint64_t counter_ = 0;
-  std::map<std::uint64_t, PendingReply> pending_;
+  std::uint64_t counter_ ADETS_GUARDED_BY_STATIC(mutex_) = 0;
+  std::map<std::uint64_t, PendingReply> pending_ ADETS_GUARDED_BY_STATIC(mutex_);
 };
 
 }  // namespace adets::runtime

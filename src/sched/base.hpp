@@ -209,7 +209,12 @@ class SchedulerBase : public Scheduler {
   static ThreadRecord*& tls_slot();
   [[nodiscard]] bool stopping() const { return stopping_.load(std::memory_order_relaxed); }
 
+  // Both are wired by start() before any scheduler thread exists and
+  // are read-only from then on; guarding them would put the monitor on
+  // every request hot path for no protection.
+  // adets-sa:allow(unguarded-field) written only in start(), before threads
   SchedulerConfig config_;
+  // adets-sa:allow(unguarded-field) written only in start(), before threads
   SchedulerEnv* env_ = nullptr;
   mutable common::Mutex mon_{"sched::mon"};
   std::map<std::uint64_t, std::unique_ptr<ThreadRecord>> threads_ ADETS_GUARDED_BY(mon_);
@@ -239,6 +244,8 @@ class SchedulerBase : public Scheduler {
   std::uint64_t decision_seq_ ADETS_GUARDED_BY(mon_) = 0;
   SchedulerStats stats_ ADETS_GUARDED_BY(mon_);
 
+  // Created in start() before threads; TimerService synchronizes itself.
+  // adets-sa:allow(unguarded-field) written only in start(), before threads
   std::unique_ptr<common::TimerService> timer_;
 };
 

@@ -111,6 +111,7 @@ class SimNetwork {
 
  private:
   struct Node {
+    // adets-sa:allow(unguarded-field) BlockingQueue is internally synchronized
     common::BlockingQueue<Message> inbox;
     common::Mutex handler_mutex{"net::node.handler"};
     Handler handler ADETS_GUARDED_BY(handler_mutex);
@@ -136,7 +137,9 @@ class SimNetwork {
   LinkConfig link_for(common::NodeId src, common::NodeId dst) const
       ADETS_REQUIRES(mutex_);
 
-  LinkConfig default_link_;
+  // Set in the constructor, read-only afterwards (link_for falls back
+  // to it under mutex_ anyway).
+  const LinkConfig default_link_;
   mutable common::Mutex mutex_{"net::mutex"};
   common::CondVar heap_cv_;
   std::vector<std::unique_ptr<Node>> nodes_ ADETS_GUARDED_BY(mutex_);

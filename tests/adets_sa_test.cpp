@@ -1,0 +1,321 @@
+// adets-sa auditor tests: program-model parsing on in-memory sources,
+// per-rule checks for each pass, seeded negative-control fixtures under
+// tests/sa_fixtures (each must yield exactly one finding), and the
+// whole-tree positive control (src/ must audit clean).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+#include "sa.hpp"
+
+namespace {
+
+using adets::sa::Finding;
+using adets::sa::Program;
+
+Program parse(const std::string& content, const std::string& path = "mem.hpp") {
+  Program prog;
+  prog.parse_file(path, content);
+  prog.finalize();
+  return prog;
+}
+
+bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+// --- program model ---------------------------------------------------------
+
+TEST(SaModelTest, ParsesClassFieldsAndAnnotations) {
+  const Program prog = parse(R"(
+    namespace demo {
+    class Box {
+     public:
+      void put(int v);
+     private:
+      mutable common::Mutex mu_{"demo"};
+      int value_ ADETS_GUARDED_BY(mu_) = 0;
+      int loose_ = 0;
+      const int limit_ = 4;
+      std::atomic<bool> flag_{false};
+    };
+    }  // namespace demo
+  )");
+  const int idx = prog.find_class("demo::Box");
+  ASSERT_GE(idx, 0);
+  const auto& c = prog.classes[idx];
+  EXPECT_TRUE(c.owns_mutex());
+  ASSERT_EQ(c.fields.size(), 5u);
+  EXPECT_TRUE(c.fields[0].is_mutex);
+  EXPECT_EQ(c.fields[1].guarded_by, "mu_");
+  EXPECT_TRUE(c.fields[2].guarded_by.empty());
+  EXPECT_TRUE(c.fields[3].is_const);
+  EXPECT_TRUE(c.fields[4].is_atomic);
+}
+
+TEST(SaModelTest, MergesOutOfClassDefinitionWithDeclaration) {
+  const Program prog = parse(R"(
+    class Svc {
+     public:
+      void tick();
+     private:
+      void locked_step() ADETS_REQUIRES(mu_);
+      common::Mutex mu_{"svc"};
+    };
+    void Svc::tick() {
+      const common::MutexLock guard(mu_);
+      locked_step();
+    }
+    void Svc::locked_step() { }
+  )");
+  bool found = false;
+  for (const auto& fn : prog.functions) {
+    if (fn.name == "locked_step" && fn.has_body) {
+      found = true;
+      ASSERT_EQ(fn.requires_held.size(), 1u);
+      EXPECT_EQ(fn.requires_held[0], "mu_");
+      EXPECT_FALSE(fn.is_public);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SaModelTest, TracksScopedLockAcquisitionOrder) {
+  const Program prog = parse(R"(
+    class Two {
+      void nest() {
+        const common::MutexLock a(first_);
+        const common::MutexLock b(second_);
+      }
+      common::Mutex first_{"a"};
+      common::Mutex second_{"b"};
+    };
+  )");
+  const adets::sa::Function* nest = nullptr;
+  for (const auto& fn : prog.functions) {
+    if (fn.name == "nest") nest = &fn;
+  }
+  ASSERT_NE(nest, nullptr);
+  ASSERT_EQ(nest->acquisitions.size(), 2u);
+  EXPECT_TRUE(nest->acquisitions[0].held.empty());
+  ASSERT_EQ(nest->acquisitions[1].held.size(), 1u);
+  EXPECT_EQ(nest->acquisitions[1].held[0], "Two::first_");
+}
+
+TEST(SaModelTest, NestedClassScopeClosesAfterFriendDefinition) {
+  const Program prog = parse(R"(
+    class Outer {
+      struct Key {
+        int due;
+        friend bool operator<(const Key& a, const Key& b) {
+          return a.due < b.due;
+        }
+      };
+      common::Mutex mu_{"outer"};
+      int counter_ ADETS_GUARDED_BY(mu_) = 0;
+    };
+  )");
+  const int outer = prog.find_class("Outer");
+  ASSERT_GE(outer, 0);
+  // counter_ must land on Outer, not on the nested Key.
+  bool found = false;
+  for (const auto& f : prog.classes[outer].fields) {
+    if (f.name == "counter_") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- passes on in-memory sources -------------------------------------------
+
+TEST(SaPassTest, RequiresUnheldFlagged) {
+  const Program prog = parse(R"(
+    class Svc {
+     public:
+      void bad() { locked_step(); }
+      void good() {
+        const common::MutexLock guard(mu_);
+        locked_step();
+      }
+     private:
+      void locked_step() ADETS_REQUIRES(mu_);
+      common::Mutex mu_{"svc"};
+    };
+    void Svc::locked_step() { }
+  )");
+  const auto findings = adets::sa::lock_graph_pass(prog);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "requires-unheld");
+}
+
+TEST(SaPassTest, CondvarWaitWithUnguardedStateFlagged) {
+  const Program prog = parse(R"(
+    class Waiter {
+      void block() {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock);
+      }
+      std::mutex mu_;
+      std::condition_variable cv_;
+      bool ready_ = false;
+    };
+  )");
+  const auto findings = adets::sa::guard_pass(prog);
+  EXPECT_TRUE(has_rule(findings, "unguarded-field"));
+  EXPECT_TRUE(has_rule(findings, "condvar-unguarded"));
+}
+
+TEST(SaPassTest, StaticGuardAnnotationSatisfiesGuardPass) {
+  const Program prog = parse(R"(
+    class Waiter {
+      void block() {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock);
+      }
+      std::mutex mu_;
+      std::condition_variable cv_;
+      bool ready_ ADETS_GUARDED_BY_STATIC(mu_) = false;
+    };
+  )");
+  EXPECT_TRUE(adets::sa::guard_pass(prog).empty());
+}
+
+TEST(SaPassTest, PublicRequiresFlaggedUnlessLockPassing) {
+  const Program prog = parse(R"(
+    class Svc {
+     public:
+      void exposed() ADETS_REQUIRES(mu_);
+      void handled(Lk& lk) ADETS_REQUIRES(mu_);
+     private:
+      common::Mutex mu_{"svc"};
+    };
+  )");
+  const auto findings = adets::sa::guard_pass(prog);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "public-requires");
+  EXPECT_NE(findings[0].message.find("exposed"), std::string::npos);
+}
+
+TEST(SaPassTest, TaintSinkScopedToSchedClasses) {
+  // Same body, but only the sched-scoped class (by base) is audited.
+  const char* body = R"(
+    class %NAME% %BASE% {
+      void stamp() {
+        last_ = common::Clock::now();
+      }
+      common::TimePoint last_;
+    };
+  )";
+  std::string sched_src(body);
+  sched_src.replace(sched_src.find("%NAME%"), 6, "Strat");
+  sched_src.replace(sched_src.find("%BASE%"), 6, ": public sched::SchedulerBase");
+  std::string plain_src(body);
+  plain_src.replace(plain_src.find("%NAME%"), 6, "Gcs");
+  plain_src.replace(plain_src.find("%BASE%"), 6, "");
+
+  const auto sched_findings = adets::sa::taint_pass(parse(sched_src));
+  ASSERT_EQ(sched_findings.size(), 1u);
+  EXPECT_EQ(sched_findings[0].rule, "det-taint");
+
+  EXPECT_TRUE(adets::sa::taint_pass(parse(plain_src)).empty());
+}
+
+// --- suppressions ----------------------------------------------------------
+
+TEST(SaAllowTest, AllowWithReasonSuppressesLine) {
+  const auto allows = adets::sa::collect_allows(
+      "a.hpp",
+      "// adets-sa:allow(unguarded-field) guarded by construction order\n"
+      "int x_;\n");
+  EXPECT_TRUE(allows.bad.empty());
+  ASSERT_EQ(allows.by_line.count(1), 1u);
+  ASSERT_EQ(allows.by_line.count(2), 1u);  // bare allow covers next line
+  EXPECT_EQ(allows.by_line.at(2).count("unguarded-field"), 1u);
+}
+
+TEST(SaAllowTest, AllowWithoutReasonIsItselfAFinding) {
+  const auto allows = adets::sa::collect_allows(
+      "a.hpp", "int x_;  // adets-sa:allow(unguarded-field)\n");
+  ASSERT_EQ(allows.bad.size(), 1u);
+  EXPECT_EQ(allows.bad[0].rule, "bad-allow");
+  EXPECT_TRUE(allows.by_line.empty());
+}
+
+TEST(SaAllowTest, AllowInsideStringLiteralIgnored) {
+  const auto allows = adets::sa::collect_allows(
+      "a.hpp", "const char* s = \"adets-sa:allow(unguarded-field) nope\";\n");
+  EXPECT_TRUE(allows.bad.empty());
+  EXPECT_TRUE(allows.by_line.empty());
+}
+
+// --- seeded fixtures and the whole tree ------------------------------------
+
+#ifdef ADETS_SOURCE_DIR
+
+std::vector<Finding> scan_fixture(const std::string& name) {
+  const std::string root = ADETS_SOURCE_DIR;
+  return adets::sa::scan({root + "/tests/sa_fixtures/" + name});
+}
+
+TEST(SaFixtureTest, LockCycleFixtureYieldsExactlyOneFinding) {
+  const auto findings = scan_fixture("lock_cycle.hpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "lock-cycle");
+  EXPECT_GT(findings[0].line, 0);
+  EXPECT_NE(findings[0].file.find("lock_cycle.hpp"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("Cycling::a_"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("Cycling::b_"), std::string::npos);
+}
+
+TEST(SaFixtureTest, UnguardedFieldFixtureYieldsExactlyOneFinding) {
+  const auto findings = scan_fixture("unguarded_field.hpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unguarded-field");
+  EXPECT_GT(findings[0].line, 0);
+  EXPECT_NE(findings[0].message.find("counter_"), std::string::npos);
+}
+
+TEST(SaFixtureTest, ClockTaintFixtureYieldsExactlyOneFinding) {
+  const auto findings = scan_fixture("clock_taint.hpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "det-taint");
+  EXPECT_GT(findings[0].line, 0);
+  EXPECT_NE(findings[0].message.find("last_grant_time_"), std::string::npos);
+}
+
+TEST(SaTreeTest, SourceTreeAuditsClean) {
+  const std::string root = ADETS_SOURCE_DIR;
+  const auto findings = adets::sa::scan({root + "/src"});
+  for (const auto& f : findings) {
+    ADD_FAILURE() << adets::sa::to_string(f);
+  }
+}
+
+#endif  // ADETS_SOURCE_DIR
+
+// --- reporting -------------------------------------------------------------
+
+TEST(SaReportTest, RulesListMatchesPassRules) {
+  std::vector<std::string> names;
+  for (const auto& r : adets::sa::rules()) names.push_back(r.name);
+  for (const char* expected :
+       {"lock-cycle", "requires-unheld", "unguarded-field", "condvar-unguarded",
+        "public-requires", "det-taint", "bad-allow"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(SaReportTest, SarifSerialisesFindings) {
+  const std::vector<Finding> findings = {
+      {"src/a.cpp", 12, "lock-cycle", "cycle \"demo\""}};
+  const std::string sarif = adets::sa::to_sarif(findings);
+  EXPECT_NE(sarif.find("\"ruleId\": \"lock-cycle\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 12"), std::string::npos);
+  EXPECT_NE(sarif.find("cycle \\\"demo\\\""), std::string::npos);
+}
+
+}  // namespace

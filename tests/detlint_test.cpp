@@ -240,6 +240,60 @@ TEST(DetlintTest, MultiLineBlockCommentNotFlagged) {
   EXPECT_TRUE(scan_source("a.cpp", source).empty());
 }
 
+TEST(DetlintTest, RawStringContentsNotFlagged) {
+  // Banned constructs inside a raw string literal are data, not code.
+  EXPECT_TRUE(
+      scan_source("a.cpp", "const char* s = R\"(std::mutex mon_;)\";\n").empty());
+  EXPECT_TRUE(scan_source("a.cpp",
+                          "auto s = R\"x(auto t = steady_clock::now();)x\";\n")
+                  .empty());
+}
+
+TEST(DetlintTest, RawStringKeepsLineNumbersInSync) {
+  // A multi-line raw string containing quotes and backslashes must not
+  // desynchronize the scanner: the finding after it gets the true line.
+  const std::string source =
+      "const char* doc = R\"(\n"            // line 1
+      "  \"quoted\" and \\ backslash\n"     // line 2 (raw content)
+      "  std::mutex decoy;\n"               // line 3 (raw content)
+      ")\";\n"                              // line 4
+      "std::mutex real_;\n";                // line 5
+  const auto findings = scan_source("a.cpp", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "raw-mutex");
+  EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(DetlintTest, StringContinuationKeepsLineNumbersInSync) {
+  // A backslash-newline inside a string literal continues the literal
+  // but still ends the physical line; the next finding's line is true.
+  const std::string source =
+      "const char* s = \"split \\\n"        // line 1: "split \<newline>
+      "rest\";\n"                           // line 2: literal continues
+      "std::mutex real_;\n";                // line 3
+  const auto findings = scan_source("a.cpp", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "raw-mutex");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(DetlintTest, ContinuedLineCommentHidesNextLine) {
+  // A line comment ending in a backslash extends over the next physical
+  // line, so code there is commented out, not live.
+  const std::string source =
+      "// old code: \\\n"
+      "std::mutex mon_;\n"
+      "int live = 1;\n";
+  EXPECT_TRUE(scan_source("a.cpp", source).empty());
+}
+
+TEST(DetlintTest, IdentifierEndingInRIsNotARawStringPrefix) {
+  // `HELPER_R"text"` (identifier ending in R, e.g. via macro pasting)
+  // must not start raw-string mode: the literal ends at the next quote.
+  const std::string source = "call(HELPER_R\"text\"); std::mutex mon_;\n";
+  EXPECT_TRUE(has_rule(scan_source("a.cpp", source), "raw-mutex"));
+}
+
 TEST(DetlintTest, RulesListCoversAllRules) {
   std::vector<std::string> names;
   for (const auto& rule : adets::detlint::rules()) names.push_back(rule.name);

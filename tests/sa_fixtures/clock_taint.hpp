@@ -1,0 +1,25 @@
+// adets-sa negative control: a scheduler strategy (sched-scoped via its
+// SchedulerBase base class) that stores a real-clock reading into its
+// decision state.  The determinism-taint pass must report exactly one
+// det-taint finding.
+//
+// Never compiled or included; parsed textually by adets_sa_test.
+#pragma once
+
+#include "common/clock.hpp"
+#include "sched/base.hpp"
+
+namespace fixtures {
+
+class ClockySched : public adets::sched::SchedulerBase {
+ public:
+  void on_grant() {
+    const auto stamp = adets::common::Clock::now();
+    last_grant_time_ = stamp;
+  }
+
+ private:
+  adets::common::TimePoint last_grant_time_;
+};
+
+}  // namespace fixtures

@@ -1,0 +1,30 @@
+// adets-sa negative control: annotation-visible lock-order cycle.
+// one() takes a_ then b_; two() takes b_ then a_.  The static lock
+// graph gets edges Cycling::a_ -> Cycling::b_ and back, so the scan
+// must report exactly one lock-cycle finding for this file.
+//
+// Never compiled or included; parsed textually by adets_sa_test.
+#pragma once
+
+#include "common/mutex.hpp"
+
+namespace fixtures {
+
+class Cycling {
+ public:
+  void one() {
+    const adets::common::MutexLock first(a_);
+    const adets::common::MutexLock second(b_);
+  }
+
+  void two() {
+    const adets::common::MutexLock first(b_);
+    const adets::common::MutexLock second(a_);
+  }
+
+ private:
+  adets::common::Mutex a_{"fixture::a"};
+  adets::common::Mutex b_{"fixture::b"};
+};
+
+}  // namespace fixtures

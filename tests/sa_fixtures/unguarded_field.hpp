@@ -1,0 +1,28 @@
+// adets-sa negative control: a mutex-owning class with one mutable
+// field that lacks ADETS_GUARDED_BY.  The guard-coverage pass must
+// report exactly one unguarded-field finding (for counter_; guarded_
+// is annotated and exempt).
+//
+// Never compiled or included; parsed textually by adets_sa_test.
+#pragma once
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+
+namespace fixtures {
+
+class Holder {
+ public:
+  void bump() {
+    const adets::common::MutexLock guard(m_);
+    guarded_ += 1;
+    counter_ += 1;
+  }
+
+ private:
+  adets::common::Mutex m_{"fixture::holder"};
+  int guarded_ ADETS_GUARDED_BY(m_) = 0;
+  int counter_ = 0;
+};
+
+}  // namespace fixtures

@@ -1,0 +1,92 @@
+// Pass 2: guard-coverage audit.
+//
+// A class that owns a mutex has opted into lock-based protection, so
+// every mutable field it declares must say which lock guards it
+// (ADETS_GUARDED_BY, or ADETS_GUARDED_BY_STATIC for classes -- like the
+// model-checker runtime -- whose raw std::mutex must stay invisible to
+// clang's thread-safety analysis).  Fields that are const, static
+// constants, atomics, references, or the synchronisation members
+// themselves are exempt: they are safe, or they *are* the protection.
+//
+// Two companion rules ride on the same ownership facts:
+//   * condvar-unguarded: a wait on a member condition variable in a
+//     class that still has unguarded mutable state -- the predicate the
+//     wait re-checks may be read unlocked;
+//   * public-requires: an ADETS_REQUIRES function exposed as a public
+//     entry point, which outside callers cannot legally satisfy.
+
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "sa.hpp"
+
+namespace adets::sa {
+namespace {
+
+/// Thread handles are lifecycle members (written once at start, joined
+/// at stop), not lock-protected data; flagging them is pure noise.
+bool is_thread_handle(const Field& f) {
+  static const std::regex re(R"(\b(jthread|thread)\b)");
+  return std::regex_search(f.type, re);
+}
+
+}  // namespace
+
+std::vector<Finding> guard_pass(const Program& prog) {
+  std::vector<Finding> out;
+  for (std::size_t ci = 0; ci < prog.classes.size(); ++ci) {
+    const Class& c = prog.classes[ci];
+    if (!c.owns_mutex()) continue;
+    std::vector<const Field*> unguarded;
+    for (const Field& f : c.fields) {
+      if (f.is_mutex || f.is_condvar || f.is_atomic || f.is_const ||
+          f.is_static || !f.guarded_by.empty() || is_thread_handle(f)) {
+        continue;
+      }
+      unguarded.push_back(&f);
+      out.push_back({c.file, f.line, "unguarded-field",
+                     "mutable field '" + f.name + "' of mutex-owning class '" +
+                         c.name + "' has no ADETS_GUARDED_BY",
+                     c.name});
+    }
+    if (!unguarded.empty() && c.owns_condvar()) {
+      for (const std::size_t m : c.methods) {
+        const Function& fn = prog.functions[m];
+        if (fn.no_analysis) continue;
+        for (const auto& w : fn.cv_waits) {
+          std::string names;
+          for (const Field* f : unguarded) {
+            if (!names.empty()) names += ", ";
+            names += f->name;
+          }
+          out.push_back({fn.file, w.line, "condvar-unguarded",
+                         "wait on '" + w.condvar + "' in class '" + c.name +
+                             "' whose mutable state {" + names +
+                             "} is not lock-annotated",
+                         c.name});
+        }
+      }
+    }
+  }
+  // public-requires is independent of mutex ownership: the annotation
+  // itself names the lock.
+  for (const Function& fn : prog.functions) {
+    if (fn.requires_held.empty() || !fn.is_public || fn.cls.empty()) continue;
+    if (fn.no_analysis || fn.defined_out_of_class || fn.takes_lock_param) {
+      continue;
+    }
+    std::string req;
+    for (const auto& r : fn.requires_held) {
+      if (!req.empty()) req += ", ";
+      req += r;
+    }
+    out.push_back({fn.file, fn.line, "public-requires",
+                   "public entry point '" + fn.cls + "::" + fn.name +
+                       "' carries ADETS_REQUIRES(" + req +
+                       "); outside callers cannot hold a private lock"});
+  }
+  return out;
+}
+
+}  // namespace adets::sa

@@ -1,0 +1,9 @@
+#include <string>
+#include <vector>
+
+#include "sa.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return adets::sa::run_cli(args);
+}

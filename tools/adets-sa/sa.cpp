@@ -1,0 +1,318 @@
+#include "sa.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <sstream>
+
+#include "detlint.hpp"
+
+namespace adets::sa {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Files whose whole job is to wrap nondeterminism or implement the
+/// locks themselves; the model neither parses nor audits them.
+const std::vector<std::string>& exempt_suffixes() {
+  static const std::vector<std::string>* s = new std::vector<std::string>{
+      "common/annotations.hpp", "common/mutex.hpp",   "common/mutex.cpp",
+      "common/lock_order.hpp",  "common/lock_order.cpp",
+      "common/mc_hooks.hpp",    "common/mc_hooks.cpp",
+      "common/clock.hpp",       "common/clock.cpp",
+  };
+  return *s;
+}
+
+bool is_exempt(const std::string& path) {
+  for (const auto& suffix : exempt_suffixes()) {
+    if (path.size() >= suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool is_cpp_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".hh" || ext == ".h";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Rule>& rules() {
+  static const std::vector<Rule>* r = new std::vector<Rule>{
+      {"lock-cycle",
+       "cycle in the static lock graph (acquire-while-held edges over the "
+       "approximate call graph)"},
+      {"requires-unheld",
+       "call into an ADETS_REQUIRES function on a path that does not hold "
+       "the required mutex"},
+      {"unguarded-field",
+       "mutable field of a mutex-owning class without ADETS_GUARDED_BY "
+       "(or ADETS_GUARDED_BY_STATIC)"},
+      {"condvar-unguarded",
+       "condition-variable wait in a class with unguarded mutable state"},
+      {"public-requires",
+       "ADETS_REQUIRES function exposed as a public entry point without a "
+       "lock-passing signature"},
+      {"det-taint",
+       "nondeterministic value (clock, thread id, pointer key, local rng) "
+       "flows into scheduler decision state or a grant-path call"},
+      {"bad-allow", "adets-sa:allow suppression without a justification"},
+  };
+  return *r;
+}
+
+Allows collect_allows(const std::string& path, const std::string& content) {
+  static const std::regex allow_re(
+      R"(adets-sa:allow\(([A-Za-z0-9_-]+)\)\s*(.*))");
+  Allows out;
+  const std::vector<detlint::Line> lines = detlint::preprocess(content);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const int line = static_cast<int>(i) + 1;
+    std::smatch m;
+    std::string comment = lines[i].comment;
+    while (std::regex_search(comment, m, allow_re)) {
+      const std::string rule = m[1];
+      const std::string reason = m[2];
+      if (reason.find_first_not_of(" \t") == std::string::npos) {
+        out.bad.push_back({path, line, "bad-allow",
+                           "adets-sa:allow(" + rule +
+                               ") has no justification; state why the "
+                               "finding is safe"});
+      } else {
+        out.by_line[line].insert(rule);
+        // An allow alone on a line also covers the next line.
+        if (lines[i].code.find_first_not_of(" \t") == std::string::npos) {
+          out.by_line[line + 1].insert(rule);
+        }
+      }
+      comment = m.suffix();
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> scan(const std::vector<std::string>& paths,
+                          Program* model_out) {
+  // Expand to the file list.
+  std::vector<std::string> files;
+  std::vector<Finding> out;
+  for (const auto& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p, ec)) {
+        if (entry.is_regular_file() && is_cpp_source(entry.path())) {
+          files.push_back(entry.path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      out.push_back({p, 0, "io-error", "cannot read path"});
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  Program local;
+  Program& prog = model_out != nullptr ? *model_out : local;
+  std::map<std::string, Allows> allows;
+  for (const auto& f : files) {
+    if (is_exempt(f)) continue;
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
+      out.push_back({f, 0, "io-error", "cannot read file"});
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string content = buf.str();
+    prog.parse_file(f, content);
+    allows[f] = collect_allows(f, content);
+  }
+  prog.finalize();
+
+  std::vector<Finding> raw;
+  for (auto& f : lock_graph_pass(prog)) raw.push_back(std::move(f));
+  for (auto& f : guard_pass(prog)) raw.push_back(std::move(f));
+  for (auto& f : taint_pass(prog)) raw.push_back(std::move(f));
+
+  for (auto& f : raw) {
+    const auto it = allows.find(f.file);
+    if (it != allows.end()) {
+      const auto at = it->second.by_line.find(f.line);
+      if (at != it->second.by_line.end() && at->second.count(f.rule) > 0) {
+        continue;
+      }
+    }
+    out.push_back(std::move(f));
+  }
+  for (auto& [file, a] : allows) {
+    for (auto& f : a.bad) out.push_back(std::move(f));
+  }
+
+  // condvar-unguarded is derived from unguarded fields; once every such
+  // field in the class is fixed or carries a justified suppression, the
+  // wait-site findings would only restate the same decision.
+  std::set<std::string> still_unguarded;
+  for (const auto& f : out) {
+    if (f.rule == "unguarded-field") still_unguarded.insert(f.cls);
+  }
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [&](const Finding& f) {
+                             return f.rule == "condvar-unguarded" &&
+                                    still_unguarded.count(f.cls) == 0;
+                           }),
+            out.end());
+
+  // Stable report order: file, then line, then rule.
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+std::string to_string(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" +
+         finding.rule + "] " + finding.message;
+}
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [{\n"
+      << "    \"tool\": {\"driver\": {\"name\": \"adets-sa\", \"rules\": [";
+  bool first = true;
+  for (const auto& r : rules()) {
+    out << (first ? "" : ", ") << "{\"id\": \"" << r.name
+        << "\", \"shortDescription\": {\"text\": \"" << json_escape(r.summary)
+        << "\"}}";
+    first = false;
+  }
+  out << "]}},\n    \"results\": [";
+  first = true;
+  for (const auto& f : findings) {
+    out << (first ? "\n" : ",\n")
+        << "      {\"ruleId\": \"" << f.rule
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << json_escape(f.message)
+        << "\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+           "{\"uri\": \""
+        << json_escape(f.file) << "\"}, \"region\": {\"startLine\": "
+        << (f.line > 0 ? f.line : 1) << "}}}]}";
+    first = false;
+  }
+  out << "\n    ]\n  }]\n}\n";
+  return out.str();
+}
+
+int run_cli(const std::vector<std::string>& args) {
+  bool report = false;
+  std::string sarif_path;
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--report") {
+      report = true;
+    } else if (a == "--rules") {
+      for (const auto& r : rules()) {
+        std::cout << r.name << ": " << r.summary << "\n";
+      }
+      return 0;
+    } else if (a == "--sarif") {
+      if (i + 1 >= args.size()) {
+        std::cerr << "adets-sa: --sarif requires a file argument\n";
+        return 2;
+      }
+      sarif_path = args[++i];
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "adets-sa: unknown flag '" << a << "'\n"
+                << "usage: adets-sa [--report] [--rules] [--sarif out.sarif] "
+                   "<path>...\n";
+      return 2;
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: adets-sa [--report] [--rules] [--sarif out.sarif] "
+                 "<path>...\n";
+    return 2;
+  }
+  Program prog;
+  const std::vector<Finding> findings = scan(paths, &prog);
+  bool io_error = false;
+  for (const auto& f : findings) {
+    if (f.rule == "io-error") io_error = true;
+    std::cout << to_string(f) << "\n";
+  }
+  if (report) {
+    std::size_t bodies = 0;
+    std::size_t acquisitions = 0;
+    std::size_t annotated = 0;
+    std::set<std::string> mutexes;
+    for (const auto& fn : prog.functions) {
+      if (!fn.statements.empty() || !fn.calls.empty()) bodies++;
+      acquisitions += fn.acquisitions.size();
+      if (!fn.requires_held.empty() || !fn.acquires.empty()) annotated++;
+      for (const auto& a : fn.acquisitions) mutexes.insert(a.mutex_key);
+    }
+    std::size_t guarded = 0;
+    std::size_t fields = 0;
+    for (const auto& c : prog.classes) {
+      for (const auto& f : c.fields) {
+        fields++;
+        if (!f.guarded_by.empty()) guarded++;
+      }
+    }
+    std::cerr << "adets-sa model: " << prog.classes.size() << " classes, "
+              << prog.functions.size() << " functions (" << bodies
+              << " with bodies), " << fields << " fields (" << guarded
+              << " lock-annotated), " << annotated
+              << " annotated functions, " << acquisitions
+              << " lock acquisitions over " << mutexes.size()
+              << " distinct mutexes; " << findings.size() << " finding(s)\n";
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "adets-sa: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    out << to_sarif(findings);
+  }
+  if (io_error) return 2;
+  return findings.empty() ? 0 : 1;
+}
+
+}  // namespace adets::sa

@@ -1,0 +1,95 @@
+// adets-sa: whole-program static concurrency auditor.
+//
+// Three passes over the lexical program model (model.hpp):
+//
+//   1. lock-graph   -- builds a static lock graph whose nodes are mutex
+//      identities ("Class::member") and whose edges are acquire-while-
+//      held facts, direct (a MutexLock taken while another is held) and
+//      transitive (a call made under lock into a function that acquires,
+//      via a may-acquire fixpoint over the approximate call graph).
+//      Cycles are reported with one witness edge per participant.
+//
+//   2. guard-coverage -- classes owning a mutex must annotate their
+//      mutable fields with ADETS_GUARDED_BY (or the compiler-invisible
+//      ADETS_GUARDED_BY_STATIC for raw std::mutex members); condvar
+//      waits in classes with unguarded mutable state, and REQUIRES
+//      functions callable from unannotated public entry points, are
+//      flagged alongside.
+//
+//   3. determinism-taint -- intra-procedural dataflow from
+//      nondeterminism sources (real-clock reads, thread handles,
+//      pointer-as-ordering-key, locally seeded Rng) into scheduler
+//      decision state: assignments to fields of sched-scoped classes
+//      and arguments of grant-path calls.
+//
+// Suppression mirrors detlint: `// adets-sa:allow(<rule>) <reason>` on
+// the finding line or alone on the line directly above.  A reasonless
+// allow is itself a finding (rule bad-allow).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace adets::sa {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  /// Qualified class the finding is about (guard-coverage rules only);
+  /// lets scan() drop condvar-unguarded findings once every unguarded
+  /// field of the class has been fixed or explicitly suppressed.
+  std::string cls;
+};
+
+struct Rule {
+  std::string name;
+  std::string summary;
+};
+
+/// The rule set, in reporting order.
+const std::vector<Rule>& rules();
+
+/// Pass 1: static lock graph + cycle detection.
+std::vector<Finding> lock_graph_pass(const Program& prog);
+
+/// Pass 2: guard-coverage audit.
+std::vector<Finding> guard_pass(const Program& prog);
+
+/// Pass 3: determinism taint.
+std::vector<Finding> taint_pass(const Program& prog);
+
+/// Per-file `adets-sa:allow` suppressions harvested from comments.
+struct Allows {
+  /// line -> allowed rule names (an allow on line N covers N and N+1).
+  std::map<int, std::set<std::string>> by_line;
+  /// Reasonless allows (reported as bad-allow).
+  std::vector<Finding> bad;
+};
+
+/// Extracts suppressions from one source (uses the shared detlint
+/// preprocessor, so markers inside strings do not count).
+Allows collect_allows(const std::string& path, const std::string& content);
+
+/// Builds the model over `paths` (files or directories recursed for C++
+/// sources), runs all passes, applies suppressions.  `model_out`, when
+/// non-null, receives the finalized program (for --report).
+std::vector<Finding> scan(const std::vector<std::string>& paths,
+                          Program* model_out = nullptr);
+
+/// Formats a finding as "file:line: [rule] message".
+std::string to_string(const Finding& finding);
+
+/// Serialises findings as minimal SARIF 2.1.0.
+std::string to_sarif(const std::vector<Finding>& findings);
+
+/// CLI entry.  Flags: --report (model statistics), --sarif <file>,
+/// --rules.  Exit 0 clean, 1 findings, 2 usage/io error.
+int run_cli(const std::vector<std::string>& args);
+
+}  // namespace adets::sa

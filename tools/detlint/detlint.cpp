@@ -52,76 +52,20 @@ bool exempt(const std::string& path, const std::string& rule) {
   return false;
 }
 
-struct Line {
-  std::string code;      // comments and literal contents stripped
-  std::string comment;   // comment text of this line (for allows)
-};
-
-/// Splits source into lines with comments and string/char literals
-/// stripped from the code part (literal text is blanked, quotes kept).
-std::vector<Line> preprocess(const std::string& content) {
-  std::vector<Line> lines;
-  Line cur;
-  enum class State { kCode, kString, kChar, kLineComment, kBlockComment };
-  State state = State::kCode;
-  for (std::size_t i = 0; i < content.size(); ++i) {
-    const char c = content[i];
-    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
-    if (c == '\n') {
-      if (state == State::kLineComment) state = State::kCode;
-      lines.push_back(std::move(cur));
-      cur = Line{};
-      continue;
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          ++i;
-        } else if (c == '"') {
-          cur.code += '"';
-          state = State::kString;
-        } else if (c == '\'') {
-          cur.code += '\'';
-          state = State::kChar;
-        } else {
-          cur.code += c;
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '"') {
-          cur.code += '"';
-          state = State::kCode;
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          cur.code += '\'';
-          state = State::kCode;
-        }
-        break;
-      case State::kLineComment:
-        cur.comment += c;
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          ++i;
-        } else {
-          cur.comment += c;
-        }
-        break;
-    }
+/// True if `code` ends with a raw-string prefix whose `R` starts a new
+/// token: `R`, `u8R`, `uR`, `LR` (the next char is the opening quote).
+bool raw_string_prefix(const std::string& code) {
+  std::size_t n = code.size();
+  if (n == 0 || code[n - 1] != 'R') return false;
+  std::size_t start = n - 1;  // first char of the prefix token
+  if (n >= 3 && code[n - 3] == 'u' && code[n - 2] == '8') {
+    start = n - 3;
+  } else if (n >= 2 && (code[n - 2] == 'u' || code[n - 2] == 'L')) {
+    start = n - 2;
   }
-  lines.push_back(std::move(cur));
-  return lines;
+  if (start == 0) return true;
+  const unsigned char before = static_cast<unsigned char>(code[start - 1]);
+  return std::isalnum(before) == 0 && before != '_';
 }
 
 bool blank(const std::string& s) {
@@ -252,6 +196,106 @@ const std::vector<Rule>& rules() {
       {kBadAllow, "detlint:allow without a justification"},
   };
   return *r;
+}
+
+std::vector<Line> preprocess(const std::string& content) {
+  std::vector<Line> lines;
+  Line cur;
+  enum class State { kCode, kString, kChar, kLineComment, kBlockComment, kRawString };
+  State state = State::kCode;
+  // Raw-string bookkeeping: the delimiter between `R"` and `(`, and the
+  // closing sentinel `)delim"` we are scanning for.
+  std::string raw_delim;
+  bool raw_in_delim = false;
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      // A backslash continuation extends string/char literals and line
+      // comments across the physical newline, but the *line* still ends
+      // here -- emitting it keeps every later finding's line number true.
+      if (state == State::kLineComment &&
+          (cur.comment.empty() || cur.comment.back() != '\\')) {
+        state = State::kCode;
+      }
+      lines.push_back(std::move(cur));
+      cur = Line{};
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"' && raw_string_prefix(cur.code)) {
+          cur.code += '"';
+          state = State::kRawString;
+          raw_delim.clear();
+          raw_in_delim = true;
+        } else if (c == '"') {
+          cur.code += '"';
+          state = State::kString;
+        } else if (c == '\'') {
+          cur.code += '\'';
+          state = State::kChar;
+        } else {
+          cur.code += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          // Skip the escaped character -- unless it is the newline of a
+          // line continuation, which the top of the loop must still see.
+          if (next != '\n') ++i;
+        } else if (c == '"') {
+          cur.code += '"';
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          if (next != '\n') ++i;
+        } else if (c == '\'') {
+          cur.code += '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (raw_in_delim) {
+          if (c == '(') {
+            raw_in_delim = false;
+          } else {
+            raw_delim += c;
+          }
+        } else if (c == ')' &&
+                   content.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+                   i + 1 + raw_delim.size() < content.size() &&
+                   content[i + 1 + raw_delim.size()] == '"') {
+          i += raw_delim.size() + 1;  // consume `delim"`
+          cur.code += '"';
+          state = State::kCode;
+        }
+        // Raw-string content (including embedded newlines, handled at
+        // the top of the loop) is blanked like any other literal.
+        break;
+      case State::kLineComment:
+        cur.comment += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          cur.comment += c;
+        }
+        break;
+    }
+  }
+  lines.push_back(std::move(cur));
+  return lines;
 }
 
 std::vector<Finding> scan_source(const std::string& path, const std::string& content) {

@@ -36,6 +36,23 @@ struct Rule {
   std::string summary;
 };
 
+/// One source line after preprocessing: code with comments removed and
+/// string/char literal contents blanked (delimiters kept), plus the
+/// comment text (where `detlint:allow` / `adets-sa:allow` markers live).
+struct Line {
+  std::string code;
+  std::string comment;
+};
+
+/// Splits source into lines, stripping comments and literal contents
+/// from the code part.  Handles line comments, block comments, ordinary
+/// and raw (`R"delim(...)delim"`) string literals, char literals, and
+/// backslash line continuations inside literals and line comments; line
+/// numbering is preserved through all of them.  Shared by detlint and
+/// the adets-sa whole-program auditor (tools/adets-sa), which parses
+/// the resulting code stream into a declaration-level model.
+std::vector<Line> preprocess(const std::string& content);
+
 /// The rule set, in reporting order.
 const std::vector<Rule>& rules();
 
