@@ -42,6 +42,10 @@ class TimerService {
     }
     const std::lock_guard<std::mutex> guard(mutex_);
     const TimerId id = next_id_++;
+    // Timer deadlines are wall-clock by design; expiry re-enters
+    // scheduling through the total order, so this clock read cannot
+    // steer a grant decision.
+    // adets-sa:allow(grant-path-taint) deadline arithmetic, not a decision input
     timers_.emplace(Key{Clock::now() + delay, id}, std::move(fn));
     cv_.notify_all();
     return id;

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/clock.hpp"
 #include "common/serialization.hpp"
 #include "common/types.hpp"
@@ -147,12 +148,12 @@ class SchedulerEnv {
   /// Executes an application request (unmarshal, dispatch to the object,
   /// send the reply).  Called on a scheduler-managed thread.  The
   /// object's synchronisation operations re-enter the scheduler.
-  virtual void execute(const Request& request) = 0;
+  virtual void execute(const Request& request) ADETS_MAY_BLOCK = 0;
 
   /// Broadcasts a scheduler-internal message into this replica group's
   /// total order (LSA mutex tables, timeout messages).  It is delivered
   /// to every replica's on_scheduler_message in the same order.
-  virtual void broadcast(const common::Bytes& payload) = 0;
+  virtual void broadcast(const common::Bytes& payload) ADETS_MAY_BLOCK = 0;
 
   /// This replica's node id.
   [[nodiscard]] virtual common::NodeId self() const = 0;

@@ -165,10 +165,13 @@ class SchedulerBase : public Scheduler {
   /// Spawns a new scheduler thread for `request`.  ThreadIds are
   /// allocated in call order, so all replicas must call this in the same
   /// order (delivery order).  `forced_id` is for threads with derived
-  /// deterministic ids (LSA timeout threads).
+  /// deterministic ids (LSA timeout threads).  NON_BLOCKING: the only
+  /// join inside is of threads already observed in kDone state (their
+  /// final action under mon_), so it returns immediately.
   ThreadRecord& spawn_thread(Lk& lk, Request request,
                              std::optional<common::ThreadId> forced_id = std::nullopt,
-                             bool internal = false) ADETS_REQUIRES(mon_);
+                             bool internal = false)
+      ADETS_REQUIRES(mon_) ADETS_NON_BLOCKING;
 
   /// The registry record of the calling thread (TLS).
   ThreadRecord& current();

@@ -66,76 +66,101 @@ Bytes KvStore::pack_watch(const std::string& key, std::uint64_t timeout_paper_ms
   return w.take();
 }
 
+// dispatch only unmarshals and delegates: all state access lives in the
+// conflict-annotated handlers below (adets-sa audits dispatch for strays).
 Bytes KvStore::dispatch(const std::string& method, const Bytes& args,
                         SyncContext& ctx) {
   common::Reader r(args);
-  common::Writer reply;
-
   if (method == "put") {
     const std::string key = r.str();
     const std::string value = r.str();
-    DetLock lock(ctx, bucket_mutex(key));
-    const bool existed = data_.count(key) > 0;
-    data_[key] = value;
-    touch(key, ctx);
-    reply.boolean(existed);
-    return reply.take();
+    return do_put(key, value, ctx);
   }
-  if (method == "get") {
-    const std::string key = r.str();
-    DetLock lock(ctx, bucket_mutex(key));
-    const auto it = data_.find(key);
-    reply.boolean(it != data_.end());
-    reply.str(it != data_.end() ? it->second : "");
-    return reply.take();
-  }
-  if (method == "remove") {
-    const std::string key = r.str();
-    DetLock lock(ctx, bucket_mutex(key));
-    const bool existed = data_.erase(key) > 0;
-    if (existed) touch(key, ctx);
-    reply.boolean(existed);
-    return reply.take();
-  }
+  if (method == "get") return do_get(r.str(), ctx);
+  if (method == "remove") return do_remove(r.str(), ctx);
   if (method == "cas") {
     const std::string key = r.str();
     const std::string expected = r.str();
     const std::string value = r.str();
-    DetLock lock(ctx, bucket_mutex(key));
-    const auto it = data_.find(key);
-    const bool success = it != data_.end() && it->second == expected;
-    if (success) {
-      it->second = value;
-      touch(key, ctx);
-    }
-    reply.boolean(success);
-    return reply.take();
+    return do_cas(key, expected, value, ctx);
   }
   if (method == "watch") {
     const std::string key = r.str();
     const auto timeout = common::paper_ms(static_cast<long long>(r.u64()));
-    DetLock lock(ctx, bucket_mutex(key));
-    const std::uint64_t seen = versions_[key];
-    bool changed = versions_[key] != seen;
-    while (!changed) {
-      const bool notified =
-          ctx.wait(bucket_mutex(key), bucket_condvar(key), timeout);
-      changed = versions_[key] != seen;
-      if (!notified && !changed) break;  // bounded wait expired
-    }
-    const auto it = data_.find(key);
-    reply.boolean(changed);
-    reply.str(it != data_.end() ? it->second : "");
-    return reply.take();
+    return do_watch(key, timeout, ctx);
   }
-  if (method == "size") {
-    // Size touches every bucket; take them in canonical order.
-    for (std::uint32_t b = 0; b < buckets_; ++b) ctx.lock(MutexId(b));
-    reply.u64(data_.size());
-    for (std::uint32_t b = buckets_; b > 0; --b) ctx.unlock(MutexId(b - 1));
-    return reply.take();
-  }
+  if (method == "size") return do_size(ctx);
   throw std::invalid_argument("unknown method: " + method);
+}
+
+Bytes KvStore::do_put(const std::string& key, const std::string& value,
+                      SyncContext& ctx) {
+  common::Writer reply;
+  DetLock lock(ctx, bucket_mutex(key));
+  const bool existed = data_.count(key) > 0;
+  data_[key] = value;
+  touch(key, ctx);
+  reply.boolean(existed);
+  return reply.take();
+}
+
+Bytes KvStore::do_get(const std::string& key, SyncContext& ctx) {
+  common::Writer reply;
+  DetLock lock(ctx, bucket_mutex(key));
+  const auto it = data_.find(key);
+  reply.boolean(it != data_.end());
+  reply.str(it != data_.end() ? it->second : "");
+  return reply.take();
+}
+
+Bytes KvStore::do_remove(const std::string& key, SyncContext& ctx) {
+  common::Writer reply;
+  DetLock lock(ctx, bucket_mutex(key));
+  const bool existed = data_.erase(key) > 0;
+  if (existed) touch(key, ctx);
+  reply.boolean(existed);
+  return reply.take();
+}
+
+Bytes KvStore::do_cas(const std::string& key, const std::string& expected,
+                      const std::string& value, SyncContext& ctx) {
+  common::Writer reply;
+  DetLock lock(ctx, bucket_mutex(key));
+  const auto it = data_.find(key);
+  const bool success = it != data_.end() && it->second == expected;
+  if (success) {
+    it->second = value;
+    touch(key, ctx);
+  }
+  reply.boolean(success);
+  return reply.take();
+}
+
+Bytes KvStore::do_watch(const std::string& key, common::Duration timeout,
+                        SyncContext& ctx) {
+  common::Writer reply;
+  DetLock lock(ctx, bucket_mutex(key));
+  const std::uint64_t seen = versions_[key];
+  bool changed = versions_[key] != seen;
+  while (!changed) {
+    const bool notified =
+        ctx.wait(bucket_mutex(key), bucket_condvar(key), timeout);
+    changed = versions_[key] != seen;
+    if (!notified && !changed) break;  // bounded wait expired
+  }
+  const auto it = data_.find(key);
+  reply.boolean(changed);
+  reply.str(it != data_.end() ? it->second : "");
+  return reply.take();
+}
+
+Bytes KvStore::do_size(SyncContext& ctx) {
+  common::Writer reply;
+  // Size touches every bucket; take them in canonical order.
+  for (std::uint32_t b = 0; b < buckets_; ++b) ctx.lock(MutexId(b));
+  reply.u64(data_.size());
+  for (std::uint32_t b = buckets_; b > 0; --b) ctx.unlock(MutexId(b - 1));
+  return reply.take();
 }
 
 std::uint64_t KvStore::state_hash() const {

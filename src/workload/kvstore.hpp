@@ -13,12 +13,20 @@
 //                until the key changes (put/remove/cas) or the bounded
 //                wait times out — condition variable per bucket.
 //   "size"       ()                          -> number of keys
+//
+// Every method is implemented by a private handler carrying an
+// ADETS_CONFLICT / ADETS_READS / ADETS_WRITES contract (checked
+// transitively by tools/adets-sa pass 5, exported with --conflicts):
+// two invocations conflict iff they agree on every dimension, so
+// key-disjoint operations are safe to schedule early (ROADMAP seventh
+// strategy), while "size" conflicts with everything.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
 
+#include "common/annotations.hpp"
 #include "runtime/context.hpp"
 #include "runtime/object.hpp"
 
@@ -40,11 +48,30 @@ class KvStore : public runtime::ReplicatedObject {
   static common::Bytes pack_watch(const std::string& key, std::uint64_t timeout_paper_ms);
 
  private:
+  common::Bytes do_put(const std::string& key, const std::string& value,
+                       runtime::SyncContext& ctx)
+      ADETS_CONFLICT(key) ADETS_WRITES(data_, versions_);
+  common::Bytes do_get(const std::string& key, runtime::SyncContext& ctx)
+      ADETS_CONFLICT(key) ADETS_READS(data_);
+  common::Bytes do_remove(const std::string& key, runtime::SyncContext& ctx)
+      ADETS_CONFLICT(key) ADETS_WRITES(data_, versions_);
+  // cas mutates through a map iterator (lexically a read of data_), so
+  // data_ is over-declared as written — which it is on the success path.
+  common::Bytes do_cas(const std::string& key, const std::string& expected,
+                       const std::string& value, runtime::SyncContext& ctx)
+      ADETS_CONFLICT(key) ADETS_WRITES(data_, versions_);
+  // versions_[key] may default-insert the key's counter, hence WRITES.
+  common::Bytes do_watch(const std::string& key, common::Duration timeout,
+                         runtime::SyncContext& ctx)
+      ADETS_CONFLICT(key) ADETS_READS(data_) ADETS_WRITES(versions_);
+  common::Bytes do_size(runtime::SyncContext& ctx)
+      ADETS_CONFLICT(all) ADETS_READS(data_);
+
   [[nodiscard]] common::MutexId bucket_mutex(const std::string& key) const;
   [[nodiscard]] common::CondVarId bucket_condvar(const std::string& key) const;
   void touch(const std::string& key, runtime::SyncContext& ctx);
 
-  std::uint32_t buckets_;
+  const std::uint32_t buckets_;  // configuration, not replicated state
   std::map<std::string, std::string> data_;      // ordered: hash stability
   std::map<std::string, std::uint64_t> versions_;  // bumped on every change
 };

@@ -223,6 +223,187 @@ TEST(SaPassTest, TaintSinkScopedToSchedClasses) {
   EXPECT_TRUE(adets::sa::taint_pass(parse(plain_src)).empty());
 }
 
+// --- interprocedural effects -----------------------------------------------
+
+TEST(SaEffectsTest, BlockingUnderMonitorPropagatesWithWitnessChain) {
+  const Program prog = parse(R"(
+    class Strat : public sched::SchedulerBase {
+     public:
+      void pump() {
+        const common::MutexLock guard(mon_);
+        drain();
+      }
+     private:
+      void drain() { settle(); }
+      void settle() { std::this_thread::sleep_for(std::chrono::milliseconds(1)); }
+      common::Mutex mon_{"m"};
+    };
+  )");
+  const auto findings = adets::sa::effects_pass(prog);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "blocking-under-monitor");
+  EXPECT_NE(findings[0].message.find("pump"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("drain"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("blocks at"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("sleep_for"), std::string::npos);
+}
+
+TEST(SaEffectsTest, NonBlockingAnnotationStopsPropagation) {
+  const Program prog = parse(R"(
+    class Strat : public sched::SchedulerBase {
+     public:
+      void pump() {
+        const common::MutexLock guard(mon_);
+        drain();
+      }
+     private:
+      // Never actually parks (the fixture's claim, not checked here).
+      void drain() ADETS_NON_BLOCKING { settle(); }
+      void settle() { std::this_thread::sleep_for(std::chrono::milliseconds(1)); }
+      common::Mutex mon_{"m"};
+    };
+  )");
+  EXPECT_TRUE(adets::sa::effects_pass(prog).empty());
+}
+
+TEST(SaEffectsTest, DeferredLambdaCallDoesNotPropagateBlocking) {
+  const Program prog = parse(R"(
+    class Strat : public sched::SchedulerBase {
+     public:
+      void pump() {
+        const common::MutexLock guard(mon_);
+        schedule([this] { settle(); });
+      }
+     private:
+      void schedule(std::function<void()> fn);
+      void settle() { std::this_thread::sleep_for(std::chrono::milliseconds(1)); }
+      common::Mutex mon_{"m"};
+    };
+  )");
+  EXPECT_TRUE(adets::sa::effects_pass(prog).empty());
+}
+
+TEST(SaEffectsTest, GrantPathAuditedInterprocedurally) {
+  const Program prog = parse(R"(
+    class Strat : public sched::SchedulerBase {
+     public:
+      void handle_request(int tid) { stamp(tid); }
+     private:
+      void stamp(int tid) {
+        last_grant_ = common::Clock::now();
+      }
+      common::TimePoint last_grant_;
+    };
+  )");
+  const auto findings = adets::sa::effects_pass(prog);
+  EXPECT_TRUE(has_rule(findings, "grant-path-taint"));
+  EXPECT_TRUE(has_rule(findings, "grant-path-write"));
+}
+
+TEST(SaEffectsTest, MayBlockBoundaryCutsGrantPath) {
+  const Program prog = parse(R"(
+    class Strat : public sched::SchedulerBase {
+     public:
+      void handle_request(int tid) { resubmit(tid); }
+     private:
+      // Control re-enters the total order here: not part of the decision.
+      void resubmit(int tid) ADETS_MAY_BLOCK {
+        last_grant_ = common::Clock::now();
+      }
+      common::TimePoint last_grant_;
+    };
+  )");
+  EXPECT_TRUE(adets::sa::effects_pass(prog).empty());
+}
+
+// --- conflict-class coverage -----------------------------------------------
+
+TEST(SaConflictsTest, UndeclaredWriteThroughHelperFlagged) {
+  const Program prog = parse(R"(
+    class Obj {
+     private:
+      void do_put(const std::string& key) ADETS_CONFLICT(key) ADETS_READS(rows_) {
+        store(key);
+      }
+      void store(const std::string& key) { rows_[key] = 1; }
+      std::map<std::string, int> rows_;
+    };
+  )");
+  const auto findings = adets::sa::conflicts_pass(prog);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "conflict-uncovered");
+  EXPECT_NE(findings[0].message.find("via do_put -> store"), std::string::npos);
+}
+
+TEST(SaConflictsTest, OverDeclarationIsSound) {
+  const Program prog = parse(R"(
+    class Obj {
+     private:
+      void do_put(const std::string& key)
+          ADETS_CONFLICT(key) ADETS_WRITES(rows_, journal_) {
+        rows_[key] = 1;
+      }
+      std::map<std::string, int> rows_;
+      std::vector<std::string> journal_;
+    };
+  )");
+  EXPECT_TRUE(adets::sa::conflicts_pass(prog).empty());
+}
+
+TEST(SaConflictsTest, FreeHandlerMustTouchNoState) {
+  const Program prog = parse(R"(
+    class Obj {
+     private:
+      void do_ping() ADETS_CONFLICT(free) { hits_++; }
+      int hits_ = 0;
+    };
+  )");
+  const auto findings = adets::sa::conflicts_pass(prog);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "conflict-uncovered");
+  EXPECT_NE(findings[0].message.find("free"), std::string::npos);
+}
+
+TEST(SaConflictsTest, DisjointClassesSharingWritesFlagged) {
+  const Program prog = parse(R"(
+    class Obj {
+     private:
+      void do_put(const std::string& key) ADETS_CONFLICT(key) ADETS_WRITES(rows_) {
+        rows_ = rows_ + 1;
+      }
+      void do_scan(int range) ADETS_CONFLICT(range) ADETS_READS(rows_) {
+        int n = rows_;
+      }
+      int rows_ = 0;
+    };
+  )");
+  const auto findings = adets::sa::conflicts_pass(prog);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "conflict-overlap");
+}
+
+TEST(SaConflictsTest, DispatchMayNotBypassHandlers) {
+  const Program prog = parse(R"(
+    class Obj {
+     public:
+      void dispatch(const std::string& method) {
+        hits_++;
+        do_put(method);
+      }
+     private:
+      void do_put(const std::string& key) ADETS_CONFLICT(key) ADETS_WRITES(rows_) {
+        rows_[key] = 1;
+      }
+      std::map<std::string, int> rows_;
+      int hits_ = 0;
+    };
+  )");
+  const auto findings = adets::sa::conflicts_pass(prog);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "conflict-uncovered");
+  EXPECT_NE(findings[0].message.find("hits_"), std::string::npos);
+}
+
 // --- suppressions ----------------------------------------------------------
 
 TEST(SaAllowTest, AllowWithReasonSuppressesLine) {
@@ -286,6 +467,45 @@ TEST(SaFixtureTest, ClockTaintFixtureYieldsExactlyOneFinding) {
   EXPECT_NE(findings[0].message.find("last_grant_time_"), std::string::npos);
 }
 
+TEST(SaFixtureTest, BlockingUnderMonitorFixtureYieldsExactlyOneFinding) {
+  const auto findings = scan_fixture("blocking_under_monitor.hpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "blocking-under-monitor");
+  EXPECT_GT(findings[0].line, 0);
+  EXPECT_NE(findings[0].message.find("pump"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("drain"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("settle"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("blocks at"), std::string::npos);
+}
+
+TEST(SaFixtureTest, GrantPathWriteFixtureYieldsExactlyOneFinding) {
+  const auto findings = scan_fixture("grant_path_write.hpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "grant-path-write");
+  EXPECT_NE(findings[0].message.find("decisions_served_"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("handle_request"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("bump"), std::string::npos);
+}
+
+TEST(SaFixtureTest, ConflictCoverageFixtureYieldsExactlyOneFinding) {
+  const auto findings = scan_fixture("conflict_coverage.hpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "conflict-uncovered");
+  EXPECT_NE(findings[0].message.find("table_"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("do_put -> store_row"), std::string::npos);
+}
+
+TEST(SaScanTest, ParseMemoServesRepeatedScans) {
+  const std::string root = ADETS_SOURCE_DIR;
+  const std::vector<std::string> paths = {root +
+                                          "/tests/sa_fixtures/lock_cycle.hpp"};
+  adets::sa::ScanStats warm;
+  adets::sa::scan(paths);  // populate the process-wide memo
+  adets::sa::scan(paths, nullptr, &warm);
+  EXPECT_EQ(warm.files, 1u);
+  EXPECT_EQ(warm.memo_hits, 1u);
+}
+
 TEST(SaTreeTest, SourceTreeAuditsClean) {
   const std::string root = ADETS_SOURCE_DIR;
   const auto findings = adets::sa::scan({root + "/src"});
@@ -303,10 +523,50 @@ TEST(SaReportTest, RulesListMatchesPassRules) {
   for (const auto& r : adets::sa::rules()) names.push_back(r.name);
   for (const char* expected :
        {"lock-cycle", "requires-unheld", "unguarded-field", "condvar-unguarded",
-        "public-requires", "det-taint", "bad-allow"}) {
+        "public-requires", "det-taint", "blocking-under-monitor",
+        "grant-path-taint", "grant-path-write", "conflict-uncovered",
+        "conflict-overlap", "bad-allow"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
+}
+
+TEST(SaReportTest, ConflictManifestListsHandlers) {
+  const Program prog = parse(R"(
+    class Obj {
+     private:
+      void do_put(const std::string& key)
+          ADETS_CONFLICT(key) ADETS_READS(meta_) ADETS_WRITES(rows_) {
+        rows_[key] = 1;
+      }
+      std::map<std::string, int> rows_;
+      std::map<std::string, int> meta_;
+    };
+  )");
+  const std::string json = adets::sa::conflict_manifest(prog);
+  EXPECT_NE(json.find("\"class\": \"Obj\""), std::string::npos);
+  EXPECT_NE(json.find("\"method\": \"do_put\""), std::string::npos);
+  EXPECT_NE(json.find("\"conflict\": [\"key\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"reads\": [\"meta_\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"writes\": [\"rows_\"]"), std::string::npos);
+}
+
+TEST(SaModelTest, DigitSeparatorsDoNotDerailTheTokenizer) {
+  // 1'000'000 must lex as one number, not open a character literal that
+  // swallows the rest of the class body.
+  const Program prog = parse(R"(
+    class Budget {
+      void spend() { used_ = used_ + 1'000'000; }
+      long used_ = 0;
+      common::Mutex mu_{"b"};
+      long stray_ = 0;
+    };
+  )");
+  const int idx = prog.find_class("Budget");
+  ASSERT_GE(idx, 0);
+  // All three fields survive, so the guard pass still sees stray_.
+  EXPECT_EQ(prog.classes[idx].fields.size(), 3u);
+  EXPECT_TRUE(has_rule(adets::sa::guard_pass(prog), "unguarded-field"));
 }
 
 TEST(SaReportTest, SarifSerialisesFindings) {

@@ -294,6 +294,19 @@ TEST(DetlintTest, IdentifierEndingInRIsNotARawStringPrefix) {
   EXPECT_TRUE(has_rule(scan_source("a.cpp", source), "raw-mutex"));
 }
 
+TEST(DetlintTest, DigitSeparatorIsNotACharLiteral) {
+  // `1'000` must not open a character literal: with an odd number of
+  // apostrophes on the line, everything after would be swallowed as a
+  // "literal" and the real finding on the next line lost.
+  const std::string source =
+      "int scale = 1'000;\n"   // line 1: digit separator, one apostrophe
+      "std::mutex real_;\n";   // line 2
+  const auto findings = scan_source("a.cpp", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "raw-mutex");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
 TEST(DetlintTest, RulesListCoversAllRules) {
   std::vector<std::string> names;
   for (const auto& rule : adets::detlint::rules()) names.push_back(rule.name);

@@ -1,0 +1,33 @@
+// adets-sa negative control: a scheduler strategy (sched-scoped via its
+// SchedulerBase base class) that calls, while holding its monitor, a
+// helper that transitively reaches a sleep primitive.  The interprocedural
+// blocking-under-monitor pass must report exactly one finding, at the
+// outermost call made under the lock, with the full witness chain
+// `pump -> drain -> settle blocks at ...`.
+//
+// Never compiled or included; parsed textually by adets_sa_test.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+#include "common/mutex.hpp"
+#include "sched/base.hpp"
+
+namespace fixtures {
+
+class BlockySched : public adets::sched::SchedulerBase {
+ public:
+  void pump() {
+    const adets::common::MutexLock guard(mon_);
+    drain();
+  }
+
+ private:
+  void drain() { settle(); }
+  void settle() { std::this_thread::sleep_for(std::chrono::milliseconds(1)); }
+
+  adets::common::Mutex mon_{"blocky"};
+};
+
+}  // namespace fixtures

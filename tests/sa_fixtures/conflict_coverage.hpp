@@ -1,0 +1,32 @@
+// adets-sa negative control: a replicated object whose conflict-annotated
+// handler declares only ADETS_READS(table_) but, through a same-class
+// helper, writes the field.  The conflict-class coverage pass must report
+// exactly one conflict-uncovered finding with the call chain
+// `do_put -> store_row`.
+//
+// Never compiled or included; parsed textually by adets_sa_test.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/annotations.hpp"
+
+namespace fixtures {
+
+class TinyStore {
+ public:
+  void dispatch(const std::string& method, const std::string& key) {
+    if (method == "put") do_put(key);
+  }
+
+ private:
+  void do_put(const std::string& key) ADETS_CONFLICT(key) ADETS_READS(table_) {
+    store_row(key);
+  }
+  void store_row(const std::string& key) { table_[key] = 1; }
+
+  std::map<std::string, int> table_;
+};
+
+}  // namespace fixtures

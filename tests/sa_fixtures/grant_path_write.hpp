@@ -1,0 +1,24 @@
+// adets-sa negative control: a scheduler strategy whose grant decision
+// hook (handle_request) calls a helper that mutates a field carrying no
+// ADETS_GUARDED_BY contract.  The interprocedural grant-path audit must
+// report exactly one grant-path-write finding, attributing the write to
+// the chain `handle_request -> bump`.
+//
+// Never compiled or included; parsed textually by adets_sa_test.
+#pragma once
+
+#include "sched/base.hpp"
+
+namespace fixtures {
+
+class GreedyStrategy : public adets::sched::SchedulerBase {
+ public:
+  void handle_request(int thread_id) { bump(thread_id); }
+
+ private:
+  void bump(int thread_id) { decisions_served_ += thread_id; }
+
+  long decisions_served_ = 0;
+};
+
+}  // namespace fixtures

@@ -1,0 +1,251 @@
+// Pass 5: conflict-class coverage.
+//
+// The early-scheduling strategy (ROADMAP: PSMR per Alchieri et al.)
+// runs requests in parallel when their declared conflict classes are
+// disjoint.  That is only sound if the declaration *covers* the state
+// the handler actually touches, transitively through its helpers --
+// otherwise two "non-conflicting" requests race on shared state and
+// replicas silently diverge.  Handlers declare:
+//
+//   ADETS_CONFLICT(dim...)  -- the conflict dimension(s): a parameter
+//       the runtime keys on ("key", "account"), or the distinguished
+//       terms "all" (conflicts with everything; always sound) and
+//       "free" (conflicts with nothing; must touch no replica state).
+//   ADETS_READS(field...) / ADETS_WRITES(field...) -- the member
+//       fields the handler (and everything it calls in its own class)
+//       may read resp. write.  Over-declaration is allowed -- the
+//       check is accessed-subset-of-declared -- because a lexical
+//       model can miss writes through iterators; under-declaration is
+//       the bug this pass exists to catch.
+//
+// Checks: (1) every field access in the handler's same-class call tree
+// is declared (reads may be covered by ADETS_WRITES; writes need
+// ADETS_WRITES); (2) "free" handlers access no mutable state; (3) the
+// dispatch entry point of a class with declared handlers touches no
+// state outside those handlers; (4) handlers in *different* conflict
+// classes must not write-share a field (conflict-overlap) -- the
+// declared classes would let them run in parallel.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sa.hpp"
+
+namespace adets::sa {
+namespace {
+
+struct Access {
+  std::string field;
+  std::string file;
+  int line = 0;
+  bool is_write = false;
+  std::string chain;  // "dispatch -> touch" (empty when direct)
+};
+
+std::string qualified_name(const Function& fn) {
+  return fn.cls.empty() ? fn.name : fn.cls + "::" + fn.name;
+}
+
+/// Collects field accesses of `root` and every same-class function it
+/// (transitively) calls, cut at declared handlers when `cut_handlers`.
+void collect_accesses(const Program& prog, std::size_t root, bool cut_handlers,
+                      std::vector<Access>& out) {
+  std::set<std::size_t> seen{root};
+  // (function, chain-so-far)
+  std::vector<std::pair<std::size_t, std::string>> work{
+      {root, prog.functions[root].name}};
+  while (!work.empty()) {
+    const auto [at, chain] = work.back();
+    work.pop_back();
+    const Function& fn = prog.functions[at];
+    for (const FieldAccess& a : fn.accesses) {
+      out.push_back({a.field, fn.file, a.line, a.is_write,
+                     at == root ? "" : chain});
+    }
+    for (const CallSite& c : fn.calls) {
+      for (const std::size_t callee : prog.resolve_call(fn, c)) {
+        const Function& cf = prog.functions[callee];
+        if (cf.cls != prog.functions[root].cls) continue;  // own state only
+        if (cut_handlers && !cf.conflict_dims.empty()) continue;
+        if (!seen.insert(callee).second) continue;
+        work.push_back({callee, chain + " -> " + cf.name});
+      }
+    }
+  }
+}
+
+bool declares(const std::vector<std::string>& declared, const std::string& f) {
+  return std::find(declared.begin(), declared.end(), f) != declared.end();
+}
+
+}  // namespace
+
+std::vector<Finding> conflicts_pass(const Program& prog) {
+  std::vector<Finding> out;
+
+  // Handlers grouped by class (for the overlap check and dispatch audit).
+  std::map<std::string, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < prog.functions.size(); ++i) {
+    const Function& fn = prog.functions[i];
+    if (fn.conflict_dims.empty() || fn.cls.empty()) continue;
+    if (!fn.statements.empty() || !fn.has_body) {
+      // Bodied definition (or pure declaration merged with one).
+      by_class[fn.cls].push_back(i);
+    }
+  }
+
+  for (const auto& [cls_name, handlers] : by_class) {
+    const int cls = prog.find_class(cls_name);
+    for (const std::size_t h : handlers) {
+      const Function& fn = prog.functions[h];
+      if (fn.no_analysis) continue;
+      const bool is_free = declares(fn.conflict_dims, "free");
+      std::vector<Access> accesses;
+      collect_accesses(prog, h, /*cut_handlers=*/false, accesses);
+      for (const Access& a : accesses) {
+        const Field* f = prog.find_member(cls, a.field);
+        if (f == nullptr || f->is_const) continue;  // config, not state
+        const std::string where =
+            a.chain.empty() ? "" : " (via " + a.chain + ")";
+        if (is_free) {
+          out.push_back({a.file, a.line, "conflict-uncovered",
+                         qualified_name(fn) +
+                             " is declared ADETS_CONFLICT(free) but " +
+                             (a.is_write ? "writes" : "reads") + " '" +
+                             a.field + "'" + where,
+                         fn.cls});
+          continue;
+        }
+        if (a.is_write && !declares(fn.declared_writes, a.field)) {
+          out.push_back({a.file, a.line, "conflict-uncovered",
+                         qualified_name(fn) + " writes '" + a.field +
+                             "' outside its declared ADETS_WRITES set" + where,
+                         fn.cls});
+        } else if (!a.is_write && !declares(fn.declared_reads, a.field) &&
+                   !declares(fn.declared_writes, a.field)) {
+          out.push_back({a.file, a.line, "conflict-uncovered",
+                         qualified_name(fn) + " reads '" + a.field +
+                             "' outside its declared ADETS_READS/WRITES set" +
+                             where,
+                         fn.cls});
+        }
+      }
+    }
+
+    // Dispatch entry point: state accesses must live inside handlers.
+    for (const std::size_t m :
+         cls >= 0 ? prog.classes[cls].methods : std::vector<std::size_t>{}) {
+      const Function& fn = prog.functions[m];
+      if (fn.name != "dispatch" || fn.statements.empty() || fn.no_analysis) {
+        continue;
+      }
+      if (!fn.conflict_dims.empty()) continue;  // itself a declared handler
+      std::vector<Access> accesses;
+      collect_accesses(prog, m, /*cut_handlers=*/true, accesses);
+      for (const Access& a : accesses) {
+        const Field* f = prog.find_member(cls, a.field);
+        if (f == nullptr || f->is_const) continue;
+        const std::string where =
+            a.chain.empty() ? "" : " (via " + a.chain + ")";
+        out.push_back({a.file, a.line, "conflict-uncovered",
+                       qualified_name(fn) + " touches '" + a.field +
+                           "' outside any declared conflict handler" + where,
+                       fn.cls});
+      }
+    }
+
+    // Overlap: handlers whose declared classes are disjoint (differing
+    // dims, neither "all") must not write-share state.
+    for (std::size_t x = 0; x < handlers.size(); ++x) {
+      for (std::size_t y = x + 1; y < handlers.size(); ++y) {
+        const Function& a = prog.functions[handlers[x]];
+        const Function& b = prog.functions[handlers[y]];
+        auto dims = [](const Function& f) {
+          return std::set<std::string>(f.conflict_dims.begin(),
+                                       f.conflict_dims.end());
+        };
+        const auto da = dims(a);
+        const auto db = dims(b);
+        if (da == db || da.count("all") > 0 || db.count("all") > 0) continue;
+        auto touches = [](const Function& f, const std::string& field,
+                          bool write_only) {
+          return std::find(f.declared_writes.begin(), f.declared_writes.end(),
+                           field) != f.declared_writes.end() ||
+                 (!write_only &&
+                  std::find(f.declared_reads.begin(), f.declared_reads.end(),
+                            field) != f.declared_reads.end());
+        };
+        for (const std::string& w : a.declared_writes) {
+          if (touches(b, w, false)) {
+            out.push_back(
+                {a.file, a.line, "conflict-overlap",
+                 qualified_name(a) + " (" + a.conflict_dims[0] + ") and " +
+                     b.name + " (" + b.conflict_dims[0] +
+                     ") are in different conflict classes but share written "
+                     "field '" +
+                     w + "'",
+                 a.cls});
+            break;
+          }
+        }
+        for (const std::string& w : b.declared_writes) {
+          if (!touches(a, w, true) && touches(a, w, false)) {
+            out.push_back(
+                {b.file, b.line, "conflict-overlap",
+                 qualified_name(b) + " (" + b.conflict_dims[0] + ") writes '" +
+                     w + "' which " + a.name + " (" + a.conflict_dims[0] +
+                     ") reads, but they are in different conflict classes",
+                 b.cls});
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  return out;
+}
+
+std::string conflict_manifest(const Program& prog) {
+  std::ostringstream out;
+  std::map<std::string, std::vector<const Function*>> by_class;
+  for (const Function& fn : prog.functions) {
+    if (fn.conflict_dims.empty() || fn.cls.empty()) continue;
+    if (!fn.has_body && fn.statements.empty()) {
+      by_class[fn.cls].push_back(&fn);  // in-class declaration
+    } else if (!fn.defined_out_of_class) {
+      by_class[fn.cls].push_back(&fn);  // inline definition
+    }
+  }
+  auto list = [&](const std::vector<std::string>& v) {
+    std::string s = "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      s += (i > 0 ? ", " : "") + ("\"" + v[i] + "\"");
+    }
+    return s + "]";
+  };
+  out << "{\n  \"classes\": [";
+  bool first_cls = true;
+  for (const auto& [cls, fns] : by_class) {
+    out << (first_cls ? "\n" : ",\n") << "    {\"class\": \"" << cls
+        << "\", \"handlers\": [";
+    bool first_fn = true;
+    for (const Function* fn : fns) {
+      out << (first_fn ? "\n" : ",\n") << "      {\"method\": \"" << fn->name
+          << "\", \"conflict\": " << list(fn->conflict_dims)
+          << ", \"reads\": " << list(fn->declared_reads)
+          << ", \"writes\": " << list(fn->declared_writes) << "}";
+      first_fn = false;
+    }
+    out << "\n    ]}";
+    first_cls = false;
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace adets::sa

@@ -41,6 +41,16 @@ const std::set<std::string>& lock_types() {
   return *k;
 }
 
+/// Container/atomic methods that mutate their receiver.
+const std::set<std::string>& mutating_methods() {
+  static const std::set<std::string>* k = new std::set<std::string>{
+      "push_back", "push_front", "pop_back", "pop_front", "emplace",
+      "emplace_back", "emplace_front", "insert", "erase", "clear",
+      "resize", "assign", "store", "fetch_add", "fetch_sub", "swap",
+  };
+  return *k;
+}
+
 bool type_is_mutex(const std::string& type) {
   static const std::regex re(
       R"(\b(Mutex|(recursive_|timed_|recursive_timed_|shared_timed_|shared_)?mutex)\b)");
@@ -420,13 +430,23 @@ class Parser {
       fn.cls = prog_.classes[cls].name;
     }
     (void)scope;
-    // Parameter list: detect lock-passing signatures.
+    // Parameter list: detect lock-passing signatures and remember the
+    // parameter names, so `lk.unlock()` in the body can suspend the
+    // REQUIRES-implied held set.
     if (run.paren_close >= 0) {
       for (int k = run.fn_name + 1; k < run.paren_close; ++k) {
         const std::string& w = run.toks[k].text;
         if (w == "MutexLock" || w == "Lk") {
           fn.takes_lock_param = true;
-          break;
+          for (int j = k + 1; j < run.paren_close; ++j) {
+            const std::string& p = run.toks[j].text;
+            if (p == "&" || p == "*" || p == "const") continue;
+            if (p == "," || p == ")") break;
+            if (run.toks[j].ident) {
+              fn.lock_params.push_back(p);
+              break;
+            }
+          }
         }
       }
     }
@@ -468,6 +488,16 @@ class Parser {
           for (auto& a : args_of(k + 1)) fn.releases.push_back(a);
         } else if (w == "ADETS_NO_THREAD_SAFETY_ANALYSIS") {
           fn.no_analysis = true;
+        } else if (w == "ADETS_MAY_BLOCK") {
+          fn.may_block = true;
+        } else if (w == "ADETS_NON_BLOCKING") {
+          fn.non_blocking = true;
+        } else if (w == "ADETS_CONFLICT") {
+          for (auto& a : args_of(k + 1)) fn.conflict_dims.push_back(a);
+        } else if (w == "ADETS_READS") {
+          for (auto& a : args_of(k + 1)) fn.declared_reads.push_back(a);
+        } else if (w == "ADETS_WRITES") {
+          for (auto& a : args_of(k + 1)) fn.declared_writes.push_back(a);
         }
       }
     }
@@ -573,7 +603,11 @@ void Program::parse_file(const std::string& path, const std::string& content) {
   std::vector<std::string> code;
   code.reserve(lines.size());
   for (const auto& l : lines) code.push_back(l.code);
-  Parser(*this, path, tokenize(code)).run();
+  parse_tokens(path, tokenize(code));
+}
+
+void Program::parse_tokens(const std::string& path, std::vector<Token> tokens) {
+  Parser(*this, path, std::move(tokens)).run();
 }
 
 std::string Program::unqualified(const std::string& name) {
@@ -642,6 +676,17 @@ std::string Program::mutex_key(int cls, const std::string& expr) const {
 
 std::vector<std::size_t> Program::resolve_call(const Function& from,
                                                const CallSite& call) const {
+  const std::string key =
+      from.cls + '\n' + call.callee + '\n' + call.receiver + '\n' + call.qualifier;
+  const auto hit = resolve_memo_.find(key);
+  if (hit != resolve_memo_.end()) return hit->second;
+  std::vector<std::size_t> resolved = resolve_call_uncached(from, call);
+  resolve_memo_.emplace(key, resolved);
+  return resolved;
+}
+
+std::vector<std::size_t> Program::resolve_call_uncached(
+    const Function& from, const CallSite& call) const {
   std::vector<std::size_t> out;
   auto methods_of = [&](int cls, bool include_derived) {
     std::set<int> wanted;
@@ -705,6 +750,7 @@ std::vector<std::size_t> Program::resolve_call(const Function& from,
 void Program::finalize() {
   by_qualified_.clear();
   by_unqualified_.clear();
+  resolve_memo_.clear();
   for (std::size_t k = 0; k < classes.size(); ++k) {
     by_qualified_[classes[k].name] = static_cast<int>(k);
     by_unqualified_[unqualified(classes[k].name)].push_back(static_cast<int>(k));
@@ -730,6 +776,11 @@ void Program::finalize() {
       fn.is_public = decl.is_public;
       fn.no_analysis = fn.no_analysis || decl.no_analysis;
       fn.takes_lock_param = fn.takes_lock_param || decl.takes_lock_param;
+      fn.may_block = fn.may_block || decl.may_block;
+      fn.non_blocking = fn.non_blocking || decl.non_blocking;
+      for (const auto& d : decl.conflict_dims) fn.conflict_dims.push_back(d);
+      for (const auto& d : decl.declared_reads) fn.declared_reads.push_back(d);
+      for (const auto& d : decl.declared_writes) fn.declared_writes.push_back(d);
       merged = true;
     }
     (void)merged;
@@ -754,16 +805,27 @@ void Program::analyze_bodies() {
     std::vector<LockScope> scopes;
     std::set<std::string> manual;
     std::vector<std::string> base_held;
+    // `lk.unlock()` on a MutexLock&/Lk& parameter suspends the
+    // REQUIRES-implied set until a matching `lk.lock()`.
+    bool base_suspended = false;
     for (const auto& r : fn.requires_held) {
       std::string key = mutex_key(cls, r);
       base_held.push_back(key.empty() ? r : key);
     }
+    // Depths at which lambda bodies begin: code inside a lambda executes
+    // later (another thread, a timer, a deferred callback), so it does
+    // not inherit the enclosing function's held locks.
+    std::vector<int> lambda_depths;
     auto held_now = [&]() {
-      std::vector<std::string> h = base_held;
-      for (const auto& s : scopes) {
-        if (s.active) h.push_back(s.key);
+      std::vector<std::string> h;
+      const int lambda_floor = lambda_depths.empty() ? -1 : lambda_depths.back();
+      if (lambda_floor < 0) {
+        if (!base_suspended) h = base_held;
+        for (const auto& m : manual) h.push_back(m);
       }
-      for (const auto& m : manual) h.push_back(m);
+      for (const auto& s : scopes) {
+        if (s.active && s.depth >= lambda_floor) h.push_back(s.key);
+      }
       std::sort(h.begin(), h.end());
       h.erase(std::unique(h.begin(), h.end()), h.end());
       return h;
@@ -772,6 +834,7 @@ void Program::analyze_bodies() {
     int depth = 0;
     std::string stmt;
     int stmt_line = 0;
+    std::set<std::size_t> lambda_braces;  // token indexes of lambda `{`
     auto flush_stmt = [&]() {
       if (!stmt.empty()) fn.statements.push_back({stmt, stmt_line});
       stmt.clear();
@@ -782,6 +845,7 @@ void Program::analyze_bodies() {
       const Token& tk = t[i];
       if (tk.text == "{") {
         depth++;
+        if (lambda_braces.count(i) > 0) lambda_depths.push_back(depth);
         flush_stmt();
         continue;
       }
@@ -790,6 +854,9 @@ void Program::analyze_bodies() {
           if (s.depth >= depth) s.active = false;
         }
         depth--;
+        if (!lambda_depths.empty() && depth < lambda_depths.back()) {
+          lambda_depths.pop_back();
+        }
         flush_stmt();
         continue;
       }
@@ -800,6 +867,38 @@ void Program::analyze_bodies() {
       if (stmt_line == 0) stmt_line = tk.line;
       if (!stmt.empty()) stmt += " ";
       stmt += tk.text;
+
+      // Lambda introducer: mark the body-opening brace so code inside
+      // it does not inherit the current held set.
+      if (tk.text == "[") {
+        std::size_t j = i;
+        int bd = 0;
+        while (j < t.size()) {
+          if (t[j].text == "[") bd++;
+          if (t[j].text == "]") bd--;
+          j++;
+          if (bd == 0) break;
+        }
+        if (j < t.size() && t[j].text == "(") {
+          int pd = 0;
+          while (j < t.size()) {
+            if (t[j].text == "(") pd++;
+            if (t[j].text == ")") pd--;
+            j++;
+            if (pd == 0) break;
+          }
+          // Trailing specifiers / return type before the body.
+          std::size_t guard = 0;
+          while (j < t.size() && guard++ < 12 &&
+                 (t[j].ident || t[j].text == "->" || t[j].text == "::" ||
+                  t[j].text == "<" || t[j].text == ">" || t[j].text == "*" ||
+                  t[j].text == "&")) {
+            j++;
+          }
+        }
+        if (j < t.size() && t[j].text == "{") lambda_braces.insert(j);
+        continue;
+      }
 
       if (!tk.ident) continue;
 
@@ -849,6 +948,13 @@ void Program::analyze_bodies() {
         const int mline = t[i + 2].line;
         stmt += " " + t[i + 1].text + " " + mname;  // tokens consumed below
         if (mname == "lock" || mname == "unlock") {
+          // Lock-passing parameter: toggles the REQUIRES-implied set.
+          if (std::find(fn.lock_params.begin(), fn.lock_params.end(), recv) !=
+              fn.lock_params.end()) {
+            base_suspended = (mname == "unlock");
+            i += 2;
+            continue;
+          }
           // Innermost lock variable with this name?
           LockScope* lv = nullptr;
           for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
@@ -882,10 +988,15 @@ void Program::analyze_bodies() {
         if (mname.rfind("wait", 0) == 0) {
           const Field* f = find_member(cls, recv);
           if (f != nullptr && f->is_condvar) {
-            fn.cv_waits.push_back({recv, mline});
+            fn.cv_waits.push_back({recv, mline, held_now(), !lambda_depths.empty()});
           }
         }
-        fn.calls.push_back({mname, recv, "", mline, held_now()});
+        if (const Field* rf = find_member(cls, recv);
+            rf != nullptr && !rf->is_mutex && !rf->is_condvar) {
+          fn.accesses.push_back({recv, tk.line, mutating_methods().count(mname) > 0});
+        }
+        fn.calls.push_back(
+            {mname, recv, "", mline, held_now(), !lambda_depths.empty()});
         i += 2;  // resume after the method name; args scanned normally
         continue;
       }
@@ -895,9 +1006,55 @@ void Program::analyze_bodies() {
                              t[i + 2].ident && t[i + 3].text == "(";
       if (qualified) {
         stmt += " :: " + t[i + 2].text;  // tokens consumed by the skip below
-        fn.calls.push_back({t[i + 2].text, "", tk.text, t[i + 2].line, held_now()});
+        fn.calls.push_back({t[i + 2].text, "", tk.text, t[i + 2].line, held_now(),
+                            !lambda_depths.empty()});
         i += 2;
         continue;
+      }
+
+      // Direct member-field access (read or write classification).
+      if (cls >= 0) {
+        const bool after_access =
+            i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->" ||
+                      t[i - 1].text == "::");
+        const bool via_this = i >= 2 && t[i - 1].text == "->" &&
+                              t[i - 2].text == "this";
+        if (!after_access || via_this) {
+          const Field* f = find_member(cls, tk.text);
+          if (f != nullptr && !f->is_mutex && !f->is_condvar) {
+            // Prefix ++/-- before the field token.
+            bool write = i >= 2 && ((t[i - 1].text == "+" && t[i - 2].text == "+") ||
+                                    (t[i - 1].text == "-" && t[i - 2].text == "-"));
+            std::size_t j = i + 1;
+            while (j < t.size() && t[j].text == "[") {  // skip subscripts
+              int bd = 0;
+              while (j < t.size()) {
+                if (t[j].text == "[") bd++;
+                if (t[j].text == "]") bd--;
+                j++;
+                if (bd == 0) break;
+              }
+            }
+            if (!write && j < t.size()) {
+              static const std::string ops = "+-*/%&|^";
+              const std::string& nx = t[j].text;
+              const std::string nx2 = j + 1 < t.size() ? t[j + 1].text : "";
+              if (nx == "=" && nx2 != "=") {
+                write = true;  // plain assignment
+              } else if (nx.size() == 1 && ops.find(nx[0]) != std::string::npos &&
+                         nx2 == "=") {
+                write = true;  // compound assignment
+              } else if ((nx == "+" && nx2 == "+") || (nx == "-" && nx2 == "-")) {
+                write = true;  // postfix ++/--
+              } else if ((nx == "." || nx == "->") && j + 2 < t.size() &&
+                         t[j + 1].ident && t[j + 2].text == "(" &&
+                         mutating_methods().count(nx2) > 0) {
+                write = true;  // items_[k].push_back(...) after a subscript
+              }
+            }
+            fn.accesses.push_back({tk.text, tk.line, write});
+          }
+        }
       }
 
       // Plain call: name ( ... )
@@ -910,7 +1067,8 @@ void Program::analyze_bodies() {
         const bool after_type = i > 0 && t[i - 1].ident &&
                                 lock_types().count(t[i - 1].text) > 0;
         if (!after_access && !after_type) {
-          fn.calls.push_back({tk.text, "", "", tk.line, held_now()});
+          fn.calls.push_back(
+              {tk.text, "", "", tk.line, held_now(), !lambda_depths.empty()});
         }
       }
     }

@@ -49,6 +49,9 @@ struct CallSite {
   int line = 0;
   /// Mutex keys ("Class::member") held when the call is made.
   std::vector<std::string> held;
+  /// Inside a lambda body: runs later, possibly on another thread, so
+  /// effects do not propagate to the enclosing function.
+  bool deferred = false;
 };
 
 /// One direct acquisition of a member mutex (MutexLock ctor, .lock()).
@@ -62,6 +65,17 @@ struct Acquisition {
 struct CondVarWait {
   std::string condvar;  // member name
   int line = 0;
+  /// Mutex keys ("Class::member") held when the wait starts.
+  std::vector<std::string> held;
+  bool deferred = false;  // inside a lambda body (see CallSite)
+};
+
+/// One textual read or write of a member field inside a function body
+/// (the conflict-class coverage pass consumes these).
+struct FieldAccess {
+  std::string field;  // unqualified member name
+  int line = 0;
+  bool is_write = false;
 };
 
 /// One flattened statement (for the intra-procedural taint pass).
@@ -82,16 +96,34 @@ struct Function {
   /// Takes a MutexLock&/Lk& parameter -- a lock-passing signature, so a
   /// REQUIRES annotation on a public method is satisfiable by callers.
   bool takes_lock_param = false;
+  /// Declared as potentially blocking (ADETS_MAY_BLOCK): condvar waits,
+  /// queue pops, network sends, user upcalls.  Root facts for the
+  /// interprocedural may-block effect analysis.
+  bool may_block = false;
+  /// Declared as never parking (ADETS_NON_BLOCKING) despite lexical
+  /// appearances -- e.g. a join of threads already known finished.
+  bool non_blocking = false;
+  /// Parameter names of MutexLock&/Lk& parameters; `name.unlock()` on
+  /// one of these suspends the REQUIRES-implied held set.
+  std::vector<std::string> lock_params;
   /// Raw annotation arguments (member names as written, e.g. "mon_").
   std::vector<std::string> requires_held;
   std::vector<std::string> acquires;
   std::vector<std::string> releases;
+  /// Conflict-class contract (ADETS_CONFLICT / ADETS_READS / ADETS_WRITES):
+  /// the dimension terms of the declared conflict class ("key", "account",
+  /// "all", "free") and the member fields the handler declares it reads
+  /// and writes.  Empty conflict_dims = not a declared handler.
+  std::vector<std::string> conflict_dims;
+  std::vector<std::string> declared_reads;
+  std::vector<std::string> declared_writes;
 
   // Derived by analyze_bodies():
   std::vector<CallSite> calls;
   std::vector<Acquisition> acquisitions;
   std::vector<CondVarWait> cv_waits;
   std::vector<Statement> statements;
+  std::vector<FieldAccess> accesses;  // member-field reads/writes
 };
 
 struct Class {
@@ -125,6 +157,10 @@ class Program {
   /// then finalize() exactly once.
   void parse_file(const std::string& path, const std::string& content);
 
+  /// Like parse_file, but from an already-tokenized stream (the scan
+  /// driver memoizes preprocess+tokenize per file; see sa.cpp).
+  void parse_tokens(const std::string& path, std::vector<Token> tokens);
+
   /// Attaches out-of-class definitions to their in-class declarations
   /// (merging annotations and access), resolves inheritance, and runs
   /// body analysis (lock scopes, call sites, statements).
@@ -153,8 +189,14 @@ class Program {
 
  private:
   void analyze_bodies();
+  [[nodiscard]] std::vector<std::size_t> resolve_call_uncached(
+      const Function& from, const CallSite& call) const;
 
   std::map<std::string, int> by_qualified_;
+  /// Resolution depends only on (caller class, callee, receiver,
+  /// qualifier); the fixpoint passes re-resolve the same sites every
+  /// iteration, so cache by that key.  Cleared by finalize().
+  mutable std::map<std::string, std::vector<std::size_t>> resolve_memo_;
   std::map<std::string, std::vector<int>> by_unqualified_;
   // Raw token bodies, held until analyze_bodies() consumes them.
   friend class Parser;

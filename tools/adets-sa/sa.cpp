@@ -1,6 +1,7 @@
 #include "sa.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -84,6 +85,21 @@ const std::vector<Rule>& rules() {
       {"det-taint",
        "nondeterministic value (clock, thread id, pointer key, local rng) "
        "flows into scheduler decision state or a grant-path call"},
+      {"blocking-under-monitor",
+       "call chain that may block (condvar wait, sleep, ADETS_MAY_BLOCK "
+       "boundary) while holding a scheduler/strategy mutex"},
+      {"grant-path-taint",
+       "nondeterminism source in a function reachable from a grant "
+       "decision (interprocedural)"},
+      {"grant-path-write",
+       "write to a field with no ADETS_GUARDED_BY contract in a function "
+       "reachable from a grant decision"},
+      {"conflict-uncovered",
+       "state access in a handler's call tree not covered by its declared "
+       "ADETS_CONFLICT/READS/WRITES contract"},
+      {"conflict-overlap",
+       "handlers in different conflict classes share written state, so "
+       "parallel execution could diverge"},
       {"bad-allow", "adets-sa:allow suppression without a justification"},
   };
   return *r;
@@ -119,8 +135,29 @@ Allows collect_allows(const std::string& path, const std::string& content) {
   return out;
 }
 
+namespace {
+
+/// Process-wide parsed-file memo: repeated scans (the test binary runs
+/// dozens; shared headers appear under several roots) tokenize and
+/// harvest suppressions once per (path, mtime, size).
+struct MemoEntry {
+  fs::file_time_type mtime;
+  std::uintmax_t size = 0;
+  std::vector<Token> tokens;
+  Allows allows;
+};
+
+std::map<std::string, MemoEntry>& parse_memo() {
+  static auto* m = new std::map<std::string, MemoEntry>();
+  return *m;
+}
+
+}  // namespace
+
 std::vector<Finding> scan(const std::vector<std::string>& paths,
-                          Program* model_out) {
+                          Program* model_out, ScanStats* stats_out) {
+  using clock = std::chrono::steady_clock;
+  ScanStats stats;
   // Expand to the file list.
   std::vector<std::string> files;
   std::vector<Finding> out;
@@ -139,12 +176,26 @@ std::vector<Finding> scan(const std::vector<std::string>& paths,
     }
   }
   std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
 
+  const auto parse_start = clock::now();
   Program local;
   Program& prog = model_out != nullptr ? *model_out : local;
   std::map<std::string, Allows> allows;
   for (const auto& f : files) {
     if (is_exempt(f)) continue;
+    stats.files++;
+    std::error_code ec;
+    const auto mtime = fs::last_write_time(f, ec);
+    const auto size = fs::file_size(f, ec);
+    const auto memo = parse_memo().find(f);
+    if (!ec && memo != parse_memo().end() && memo->second.mtime == mtime &&
+        memo->second.size == size) {
+      stats.memo_hits++;
+      prog.parse_tokens(f, memo->second.tokens);  // copy; parse consumes
+      allows[f] = memo->second.allows;
+      continue;
+    }
     std::ifstream in(f, std::ios::binary);
     if (!in) {
       out.push_back({f, 0, "io-error", "cannot read file"});
@@ -153,15 +204,25 @@ std::vector<Finding> scan(const std::vector<std::string>& paths,
     std::ostringstream buf;
     buf << in.rdbuf();
     const std::string content = buf.str();
-    prog.parse_file(f, content);
-    allows[f] = collect_allows(f, content);
+    const std::vector<detlint::Line> lines = detlint::preprocess(content);
+    std::vector<std::string> code;
+    code.reserve(lines.size());
+    for (const auto& l : lines) code.push_back(l.code);
+    std::vector<Token> tokens = tokenize(code);
+    Allows a = collect_allows(f, content);
+    prog.parse_tokens(f, tokens);  // copy survives in the memo
+    allows[f] = a;
+    if (!ec) parse_memo()[f] = {mtime, size, std::move(tokens), std::move(a)};
   }
+  const auto analyze_start = clock::now();
   prog.finalize();
 
   std::vector<Finding> raw;
   for (auto& f : lock_graph_pass(prog)) raw.push_back(std::move(f));
   for (auto& f : guard_pass(prog)) raw.push_back(std::move(f));
   for (auto& f : taint_pass(prog)) raw.push_back(std::move(f));
+  for (auto& f : effects_pass(prog)) raw.push_back(std::move(f));
+  for (auto& f : conflicts_pass(prog)) raw.push_back(std::move(f));
 
   for (auto& f : raw) {
     const auto it = allows.find(f.file);
@@ -197,6 +258,10 @@ std::vector<Finding> scan(const std::vector<std::string>& paths,
     if (a.line != b.line) return a.line < b.line;
     return a.rule < b.rule;
   });
+  using ms = std::chrono::duration<double, std::milli>;
+  stats.parse_ms = ms(analyze_start - parse_start).count();
+  stats.analyze_ms = ms(clock::now() - analyze_start).count();
+  if (stats_out != nullptr) *stats_out = stats;
   return out;
 }
 
@@ -239,7 +304,11 @@ std::string to_sarif(const std::vector<Finding>& findings) {
 int run_cli(const std::vector<std::string>& args) {
   bool report = false;
   std::string sarif_path;
+  std::string conflicts_path;
   std::vector<std::string> paths;
+  static const char* usage =
+      "usage: adets-sa [--report] [--rules] [--sarif out.sarif] "
+      "[--conflicts out.json] <path>...\n";
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a == "--report") {
@@ -255,22 +324,26 @@ int run_cli(const std::vector<std::string>& args) {
         return 2;
       }
       sarif_path = args[++i];
+    } else if (a == "--conflicts") {
+      if (i + 1 >= args.size()) {
+        std::cerr << "adets-sa: --conflicts requires a file argument\n";
+        return 2;
+      }
+      conflicts_path = args[++i];
     } else if (!a.empty() && a[0] == '-') {
-      std::cerr << "adets-sa: unknown flag '" << a << "'\n"
-                << "usage: adets-sa [--report] [--rules] [--sarif out.sarif] "
-                   "<path>...\n";
+      std::cerr << "adets-sa: unknown flag '" << a << "'\n" << usage;
       return 2;
     } else {
       paths.push_back(a);
     }
   }
   if (paths.empty()) {
-    std::cerr << "usage: adets-sa [--report] [--rules] [--sarif out.sarif] "
-                 "<path>...\n";
+    std::cerr << usage;
     return 2;
   }
   Program prog;
-  const std::vector<Finding> findings = scan(paths, &prog);
+  ScanStats stats;
+  const std::vector<Finding> findings = scan(paths, &prog, &stats);
   bool io_error = false;
   for (const auto& f : findings) {
     if (f.rule == "io-error") io_error = true;
@@ -295,13 +368,23 @@ int run_cli(const std::vector<std::string>& args) {
         if (!f.guarded_by.empty()) guarded++;
       }
     }
+    std::size_t handlers = 0;
+    for (const auto& fn : prog.functions) {
+      if (!fn.conflict_dims.empty()) handlers++;
+    }
     std::cerr << "adets-sa model: " << prog.classes.size() << " classes, "
               << prog.functions.size() << " functions (" << bodies
               << " with bodies), " << fields << " fields (" << guarded
               << " lock-annotated), " << annotated
               << " annotated functions, " << acquisitions
               << " lock acquisitions over " << mutexes.size()
-              << " distinct mutexes; " << findings.size() << " finding(s)\n";
+              << " distinct mutexes, " << handlers
+              << " conflict-annotated handlers; " << findings.size()
+              << " finding(s)\n";
+    std::cerr << "adets-sa timing: " << stats.files << " files ("
+              << stats.memo_hits << " memo hits), parse "
+              << static_cast<long long>(stats.parse_ms) << " ms, analyze "
+              << static_cast<long long>(stats.analyze_ms) << " ms\n";
   }
   if (!sarif_path.empty()) {
     std::ofstream out(sarif_path, std::ios::binary);
@@ -310,6 +393,14 @@ int run_cli(const std::vector<std::string>& args) {
       return 2;
     }
     out << to_sarif(findings);
+  }
+  if (!conflicts_path.empty()) {
+    std::ofstream out(conflicts_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "adets-sa: cannot write " << conflicts_path << "\n";
+      return 2;
+    }
+    out << conflict_manifest(prog);
   }
   if (io_error) return 2;
   return findings.empty() ? 0 : 1;

@@ -1,6 +1,6 @@
 // adets-sa: whole-program static concurrency auditor.
 //
-// Three passes over the lexical program model (model.hpp):
+// Five passes over the lexical program model (model.hpp):
 //
 //   1. lock-graph   -- builds a static lock graph whose nodes are mutex
 //      identities ("Class::member") and whose edges are acquire-while-
@@ -21,6 +21,24 @@
 //      pointer-as-ordering-key, locally seeded Rng) into scheduler
 //      decision state: assignments to fields of sched-scoped classes
 //      and arguments of grant-path calls.
+//
+//   4. effects -- interprocedural may-block effect analysis.  A
+//      transitive "may block" fact (condvar waits, sleep primitives,
+//      ADETS_MAY_BLOCK declarations such as network sends and user
+//      upcalls) is propagated over the approximate call graph and
+//      checked against every region that holds a scheduler/strategy
+//      mutex, with a call-chain witness.  The same reachability,
+//      rooted at grant-decision hooks and cut at the ADETS_MAY_BLOCK
+//      boundary, audits the full grant path for nondeterministic
+//      reads and writes to unguarded state (the PR 8 taint pass saw
+//      only one hop).
+//
+//   5. conflicts -- conflict-class coverage.  Workload operations
+//      declare their conflict class with ADETS_CONFLICT plus the state
+//      they touch with ADETS_READS/ADETS_WRITES; the pass proves every
+//      field access in the handler's (same-class) call tree is covered
+//      by the declaration, so the parallel early-scheduling strategy
+//      can trust the classes it is given.
 //
 // Suppression mirrors detlint: `// adets-sa:allow(<rule>) <reason>` on
 // the finding line or alone on the line directly above.  A reasonless
@@ -64,6 +82,26 @@ std::vector<Finding> guard_pass(const Program& prog);
 /// Pass 3: determinism taint.
 std::vector<Finding> taint_pass(const Program& prog);
 
+/// Pass 4: interprocedural may-block effects (blocking-under-monitor)
+/// and grant-path effect audit (grant-path-taint, grant-path-write).
+std::vector<Finding> effects_pass(const Program& prog);
+
+/// Pass 5: conflict-class coverage (conflict-uncovered, conflict-overlap).
+std::vector<Finding> conflicts_pass(const Program& prog);
+
+/// Shared by passes 3 and 4: true when `fn` belongs to the
+/// scheduler/strategy layer (defined under src/sched, or member of a
+/// class deriving Scheduler/SchedulerBase).
+bool sched_scoped(const Program& prog, const Function& fn);
+
+/// Nondeterminism-source kind matched by a statement, or nullptr.
+const char* nondet_source_kind(const std::string& text);
+
+/// JSON manifest of declared conflict classes (class -> handlers ->
+/// dims/reads/writes): the statically verified input format for the
+/// early-scheduling strategy.
+std::string conflict_manifest(const Program& prog);
+
 /// Per-file `adets-sa:allow` suppressions harvested from comments.
 struct Allows {
   /// line -> allowed rule names (an allow on line N covers N and N+1).
@@ -76,11 +114,23 @@ struct Allows {
 /// preprocessor, so markers inside strings do not count).
 Allows collect_allows(const std::string& path, const std::string& content);
 
+/// Timing/caching counters for one scan() (reported by --report and the
+/// CI job log).
+struct ScanStats {
+  std::size_t files = 0;
+  std::size_t memo_hits = 0;  // files served from the parsed-file memo
+  double parse_ms = 0.0;      // read+preprocess+tokenize+parse
+  double analyze_ms = 0.0;    // finalize + all passes
+};
+
 /// Builds the model over `paths` (files or directories recursed for C++
 /// sources), runs all passes, applies suppressions.  `model_out`, when
-/// non-null, receives the finalized program (for --report).
+/// non-null, receives the finalized program (for --report).  Tokenized
+/// files are memoized process-wide (keyed by mtime+size), so repeated
+/// scans of shared headers parse once; `stats_out` receives counters.
 std::vector<Finding> scan(const std::vector<std::string>& paths,
-                          Program* model_out = nullptr);
+                          Program* model_out = nullptr,
+                          ScanStats* stats_out = nullptr);
 
 /// Formats a finding as "file:line: [rule] message".
 std::string to_string(const Finding& finding);
@@ -88,8 +138,9 @@ std::string to_string(const Finding& finding);
 /// Serialises findings as minimal SARIF 2.1.0.
 std::string to_sarif(const std::vector<Finding>& findings);
 
-/// CLI entry.  Flags: --report (model statistics), --sarif <file>,
-/// --rules.  Exit 0 clean, 1 findings, 2 usage/io error.
+/// CLI entry.  Flags: --report (model statistics + timing), --sarif
+/// <file>, --conflicts <file> (conflict-class manifest), --rules.
+/// Exit 0 clean, 1 findings, 2 usage/io error.
 int run_cli(const std::vector<std::string>& args);
 
 }  // namespace adets::sa

@@ -58,14 +58,6 @@ const std::set<std::string>& grant_calls() {
   return *k;
 }
 
-/// Which source (if any) appears in a statement.
-const char* source_kind(const std::string& text) {
-  for (const auto& s : sources()) {
-    if (std::regex_search(text, s.re)) return s.kind;
-  }
-  return nullptr;
-}
-
 std::vector<std::string> split_tokens(const std::string& text) {
   std::vector<std::string> out;
   std::istringstream in(text);
@@ -100,21 +92,31 @@ int assign_at(const std::vector<std::string>& t) {
 
 }  // namespace
 
+const char* nondet_source_kind(const std::string& text) {
+  for (const auto& s : sources()) {
+    if (std::regex_search(text, s.re)) return s.kind;
+  }
+  return nullptr;
+}
+
+bool sched_scoped(const Program& prog, const Function& fn) {
+  if (fn.file.find("sched/") != std::string::npos) return true;
+  const int cls = fn.cls.empty() ? -1 : prog.find_class(fn.cls);
+  return cls >= 0 && (prog.derives_from(cls, "Scheduler") ||
+                      prog.derives_from(cls, "SchedulerBase"));
+}
+
 std::vector<Finding> taint_pass(const Program& prog) {
   std::vector<Finding> out;
   for (const Function& fn : prog.functions) {
     if (fn.no_analysis || fn.statements.empty()) continue;
     const int cls = fn.cls.empty() ? -1 : prog.find_class(fn.cls);
-    const bool sched_scope =
-        fn.file.find("sched/") != std::string::npos ||
-        (cls >= 0 && (prog.derives_from(cls, "Scheduler") ||
-                      prog.derives_from(cls, "SchedulerBase")));
-    if (!sched_scope) continue;
+    if (!sched_scoped(prog, fn)) continue;
 
     std::map<std::string, std::string> tainted;  // var -> source kind
     for (const Statement& st : fn.statements) {
       const std::vector<std::string> t = split_tokens(st.text);
-      const char* direct = source_kind(st.text);
+      const char* direct = nondet_source_kind(st.text);
 
       // Does the RHS / argument list mention a tainted variable?
       std::string via;

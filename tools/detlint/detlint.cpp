@@ -68,6 +68,29 @@ bool raw_string_prefix(const std::string& code) {
   return std::isalnum(before) == 0 && before != '_';
 }
 
+/// True if a `'` appearing after `code` is a digit separator inside a
+/// numeric literal (`1'000'000`, `0xFF'FF`) rather than the start of a
+/// char literal.  A separator sits between alphanumerics of a pp-number
+/// token, i.e. a run of identifier chars / `.` / `'` that *starts with a
+/// digit* -- which excludes prefixed char literals like `L'a'` or
+/// `u8'x'`, whose preceding token starts with a letter.
+bool digit_separator(const std::string& code, char next) {
+  if (code.empty() || std::isalnum(static_cast<unsigned char>(next)) == 0) {
+    return false;
+  }
+  std::size_t start = code.size();
+  while (start > 0) {
+    const unsigned char c = static_cast<unsigned char>(code[start - 1]);
+    if (std::isalnum(c) != 0 || c == '_' || c == '.' || c == '\'') {
+      start--;
+    } else {
+      break;
+    }
+  }
+  if (start == code.size()) return false;  // no preceding token char
+  return std::isdigit(static_cast<unsigned char>(code[start])) != 0;
+}
+
 bool blank(const std::string& s) {
   return std::all_of(s.begin(), s.end(),
                      [](unsigned char c) { return std::isspace(c) != 0; });
@@ -238,6 +261,8 @@ std::vector<Line> preprocess(const std::string& content) {
         } else if (c == '"') {
           cur.code += '"';
           state = State::kString;
+        } else if (c == '\'' && digit_separator(cur.code, next)) {
+          cur.code += '\'';  // numeric literal separator, not a char literal
         } else if (c == '\'') {
           cur.code += '\'';
           state = State::kChar;
